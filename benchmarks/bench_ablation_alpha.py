@@ -1,0 +1,9 @@
+"""Ablation: dead-band parameter alpha sweep (Section III-A choice)."""
+
+from repro.experiments import ablations
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_ablation_alpha(benchmark, scale):
+    run_experiment_benchmark(benchmark, ablations.run_alpha, scale=scale, repeats=2)

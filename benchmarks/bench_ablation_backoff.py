@@ -1,0 +1,9 @@
+"""Ablation: exponential backoff on/off (Section III-A design choice)."""
+
+from repro.experiments import ablations
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_ablation_backoff(benchmark, scale):
+    run_experiment_benchmark(benchmark, ablations.run_backoff, scale=scale, repeats=2)

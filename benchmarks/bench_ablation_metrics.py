@@ -1,0 +1,10 @@
+"""Ablation: displayed-metric skew and fluctuation sensitivity of
+decision models (the Section II motivation, quantified)."""
+
+from repro.experiments import ablations
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_ablation_metrics(benchmark, scale):
+    run_experiment_benchmark(benchmark, ablations.run_metrics, scale=scale, repeats=2)

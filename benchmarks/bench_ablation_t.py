@@ -1,0 +1,11 @@
+"""Ablation: decision epoch length t sweep (paper default: 2 s)."""
+
+from repro.experiments import ablations
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_ablation_t(benchmark, scale):
+    run_experiment_benchmark(
+        benchmark, ablations.run_epoch_length, scale=scale, repeats=2
+    )

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the real codecs per compressibility class.
+
+These are the numbers behind the simulator's codec model: compression
+throughput and achieved ratio of each ladder level on each synthetic
+workload class.  The assertions pin the *ordering* the decision
+algorithm depends on (levels ordered by time/compression ratio).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import LightZlibCodec, LzmaCodec, MediumZlibCodec, NullCodec
+from repro.data import Compressibility, generate
+
+PAYLOAD_BYTES = 512 * 1024
+
+CODECS = {
+    "NO": NullCodec(),
+    "LIGHT": LightZlibCodec(),
+    "MEDIUM": MediumZlibCodec(),
+    "HEAVY": LzmaCodec(preset=4),
+}
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return {cls: generate(cls, PAYLOAD_BYTES, seed=17) for cls in Compressibility}
+
+
+@pytest.mark.parametrize("level", list(CODECS))
+@pytest.mark.parametrize("cls", list(Compressibility), ids=lambda c: c.value)
+def test_bench_compress(benchmark, payloads, level, cls):
+    codec = CODECS[level]
+    payload = payloads[cls]
+    compressed = benchmark(codec.compress, payload)
+    ratio = len(compressed) / len(payload)
+    benchmark.extra_info["ratio"] = round(ratio, 3)
+    benchmark.extra_info["mb_per_s"] = round(
+        PAYLOAD_BYTES / 1e6 / benchmark.stats.stats.mean, 1
+    )
+    if level == "NO":
+        assert ratio == 1.0
+    elif cls is Compressibility.LOW:
+        assert ratio > 0.85
+    else:
+        assert ratio < 0.6
+
+
+@pytest.mark.parametrize("level", ["LIGHT", "MEDIUM", "HEAVY"])
+@pytest.mark.parametrize("cls", list(Compressibility), ids=lambda c: c.value)
+def test_bench_decompress(benchmark, payloads, level, cls):
+    codec = CODECS[level]
+    compressed = codec.compress(payloads[cls])
+    restored = benchmark(codec.decompress, compressed)
+    assert restored == payloads[cls]
+
+
+def test_ladder_ordering_on_text(payloads):
+    """The property Section III-A requires of any level table."""
+    payload = payloads[Compressibility.MODERATE]
+    sizes = [len(CODECS[n].compress(payload)) for n in ("NO", "LIGHT", "MEDIUM", "HEAVY")]
+    assert sizes[0] > sizes[1] > sizes[2] > sizes[3]

@@ -1,0 +1,63 @@
+"""Simulator substrate micro-benchmarks (extra; not a paper artifact).
+
+Event throughput of the DES core and allocation cost of the fluid link
+— these bound how large a scenario the experiment harness can run.
+"""
+
+from __future__ import annotations
+
+from repro.core import DecisionModel
+from repro.sim import Environment, SharedLink
+
+
+def test_bench_event_throughput(benchmark):
+    """Ping-pong timeouts: pure engine overhead per event."""
+
+    def run_events(n=20_000):
+        env = Environment()
+
+        def ticker():
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        env.run_process(ticker())
+        return env.now
+
+    result = benchmark(run_events)
+    assert result == 20_000.0
+
+
+def test_bench_link_recompute(benchmark):
+    """Flows joining/leaving force water-fill recomputation."""
+
+    def run_link(n_flows=8, n_transfers=200):
+        env = Environment()
+        link = SharedLink(env, capacity=1e8)
+        flows = [link.open_flow(f"f{i}") for i in range(n_flows)]
+
+        def sender(flow):
+            for _ in range(n_transfers):
+                yield link.transmit(flow, 1e6)
+
+        for flow in flows:
+            env.process(sender(flow))
+        env.run()
+        return link.total_bytes
+
+    total = benchmark(run_link)
+    assert total == 8 * 200 * 1e6
+
+
+def test_bench_decision_model(benchmark):
+    """Decisions per second of Algorithm 1 (it runs every t seconds on
+    the hot path of every channel)."""
+
+    def run_decisions(n=10_000):
+        model = DecisionModel(4)
+        rates = {0: 90e6, 1: 200e6, 2: 150e6, 3: 27e6}
+        level = 0
+        for _ in range(n):
+            level = model.observe(rates[level])
+        return level
+
+    benchmark(run_decisions)

@@ -1,0 +1,9 @@
+"""Extension: two adaptive senders sharing one link (fairness)."""
+
+from repro.experiments import extensions
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_ext_fairness(benchmark, scale):
+    run_experiment_benchmark(benchmark, extensions.run_fairness, scale=scale)

@@ -1,0 +1,10 @@
+"""Extension: adaptive compression on the file-write path (paper §VI
+future work) — honest disk vs XEN write-back cache."""
+
+from repro.experiments import extensions
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_ext_fileio(benchmark, scale):
+    run_experiment_benchmark(benchmark, extensions.run_fileio, scale=scale, repeats=2)

@@ -1,0 +1,10 @@
+"""Extension: robust rate signals under fluctuation — raw vs naive EWMA
+(negative result) vs per-level memory."""
+
+from repro.experiments import extensions
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_ext_memory(benchmark, scale):
+    run_experiment_benchmark(benchmark, extensions.run_memory, scale=scale, repeats=3)

@@ -1,0 +1,9 @@
+"""Regenerate Figure 1: displayed vs host CPU utilization during I/O."""
+
+from repro.experiments import fig1_cpu_accuracy
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_fig1(benchmark, scale):
+    run_experiment_benchmark(benchmark, fig1_cpu_accuracy.run, scale=scale)

@@ -1,0 +1,9 @@
+"""Regenerate Figure 2: network throughput distributions per platform."""
+
+from repro.experiments import fig2_net_throughput
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_fig2(benchmark, scale):
+    run_experiment_benchmark(benchmark, fig2_net_throughput.run, scale=scale)

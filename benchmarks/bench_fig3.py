@@ -1,0 +1,9 @@
+"""Regenerate Figure 3: file-write throughput distributions (XEN cache)."""
+
+from repro.experiments import fig3_file_throughput
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_fig3(benchmark, scale):
+    run_experiment_benchmark(benchmark, fig3_file_throughput.run, scale=scale)

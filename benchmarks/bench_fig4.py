@@ -1,0 +1,9 @@
+"""Regenerate Figure 4: adaptivity trace on HIGH data, no background."""
+
+from repro.experiments import fig4_adaptivity_high
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_fig4(benchmark, scale):
+    run_experiment_benchmark(benchmark, fig4_adaptivity_high.run, scale=scale)

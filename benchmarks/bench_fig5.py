@@ -1,0 +1,9 @@
+"""Regenerate Figure 5: adaptivity trace on LOW data, 2 connections."""
+
+from repro.experiments import fig5_adaptivity_low
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_fig5(benchmark, scale):
+    run_experiment_benchmark(benchmark, fig5_adaptivity_low.run, scale=scale)

@@ -1,0 +1,11 @@
+"""Regenerate Figure 6: responsiveness to compressibility switches."""
+
+from repro.experiments import fig6_changing_compressibility
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_fig6(benchmark, scale):
+    run_experiment_benchmark(
+        benchmark, fig6_changing_compressibility.run, scale=scale
+    )

@@ -1,0 +1,12 @@
+"""Regenerate Table II: completion times across classes, concurrency and
+schemes — the paper's headline table."""
+
+from repro.experiments import table2_completion_times
+
+from conftest import run_experiment_benchmark
+
+
+def test_bench_table2(benchmark, scale):
+    run_experiment_benchmark(
+        benchmark, table2_completion_times.run, scale=scale, repeats=3
+    )

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Shared-I/O cloud transfer: static levels vs the adaptive scheme.
+
+A scaled-down Table II: simulate the paper's sender→receiver job on
+the KVM-paravirt evaluation platform while 0–3 co-located virtual
+machines saturate the same NIC, and compare completion times of the
+four static compression levels against the rate-based DYNAMIC scheme.
+
+Watch for the paper's two headline effects:
+* on highly compressible data with heavy contention, DYNAMIC finishes
+  ~4x faster than sending uncompressed;
+* DYNAMIC never trails the best static level by much — without knowing
+  the data or the contention in advance.
+
+Run:  python examples/shared_cloud_transfer.py
+"""
+
+from repro.data import Compressibility
+from repro.experiments.reporting import format_table
+from repro.sim import (
+    ScenarioConfig,
+    make_dynamic_factory,
+    make_static_factory,
+    run_transfer_scenario,
+)
+
+TOTAL_BYTES = 3 * 10**9  # scaled down from the paper's 50 GB
+
+SCHEMES = [
+    ("NO", make_static_factory(0, "NO")),
+    ("LIGHT", make_static_factory(1, "LIGHT")),
+    ("MEDIUM", make_static_factory(2, "MEDIUM")),
+    ("HEAVY", make_static_factory(3, "HEAVY")),
+    ("DYNAMIC", make_dynamic_factory()),
+]
+
+
+def main() -> None:
+    for n_background in (0, 3):
+        rows = []
+        for name, factory in SCHEMES:
+            row = [name]
+            for cls in (Compressibility.HIGH, Compressibility.MODERATE, Compressibility.LOW):
+                result = run_transfer_scenario(
+                    ScenarioConfig(
+                        scheme_factory=factory,
+                        compressibility=cls,
+                        total_bytes=TOTAL_BYTES,
+                        n_background=n_background,
+                        seed=7,
+                    )
+                )
+                row.append(f"{result.completion_time:.0f}s")
+            rows.append(row)
+        print(
+            format_table(
+                ["level", "HIGH", "MODERATE", "LOW"],
+                rows,
+                title=f"\n{n_background} co-located busy connection(s), "
+                f"{TOTAL_BYTES / 1e9:.0f} GB transfer",
+            )
+        )
+
+    print(
+        "\nNote how the best static level depends on data *and* contention —"
+        "\nwhich is exactly why a static choice is a gamble and DYNAMIC is not."
+    )
+
+
+if __name__ == "__main__":
+    main()

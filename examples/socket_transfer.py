@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Adaptive compression over a real TCP connection (localhost).
+
+The real-I/O counterpart of the simulation experiments: actual bytes,
+actual zlib/lzma, an actual kernel socket — with a token-bucket
+throttle standing in for the contended cloud link.  On the slow link,
+compressing the compressible workload multiplies the application-level
+throughput; on the JPEG-like workload the scheme backs off to (nearly)
+no compression and the stored-block fallback caps the overhead.
+
+Run:  python examples/socket_transfer.py
+"""
+
+from repro.data import Compressibility, RepeatingSource, SyntheticCorpus
+from repro.io import run_socket_transfer
+
+TOTAL = 10_000_000
+LINK = 4e6  # bytes/s
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(file_size=256 * 1024, seed=2)
+    print(f"link throttled to {LINK / 1e6:.0f} MB/s, {TOTAL / 1e6:.0f} MB per run\n")
+
+    for cls in (Compressibility.HIGH, Compressibility.MODERATE, Compressibility.LOW):
+        source = RepeatingSource.from_corpus(cls, TOTAL, corpus)
+        result = run_socket_transfer(
+            source,
+            rate_limit=LINK,
+            block_size=64 * 1024,
+            epoch_seconds=0.1,
+        )
+        levels = [epoch.level_after for epoch in result.epochs]
+        print(
+            f"{cls.value:9s} app rate {result.app_rate / 1e6:6.2f} MB/s "
+            f"({result.app_rate / LINK:4.1f}x the wire), "
+            f"ratio {result.compression_ratio:.3f}, levels {levels}"
+        )
+
+    print(
+        "\nHIGH data rides far above the wire rate; LOW data costs at most "
+        "the 20-byte/block header."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — adaptive online compression for shared-I/O cloud environments.
+
+A full reproduction of Hovestadt, Kao, Kliem & Warneke, *Evaluating
+Adaptive Compression to Mitigate the Effects of Shared I/O in Clouds*
+(IEEE IPDPS 2011).
+
+Public surface (see README for a guided tour):
+
+* :mod:`repro.core` — the paper's rate-based decision algorithm,
+  controller and adaptive block streams.
+* :mod:`repro.codecs` — codecs + self-contained 128 KB block framing.
+* :mod:`repro.data` — synthetic Canterbury-style workloads.
+* :mod:`repro.schemes` — decision-model zoo (paper's scheme, static
+  levels, and related-work baselines).
+* :mod:`repro.sim` — discrete-event virtualization/cloud simulator.
+* :mod:`repro.nephele` — mini dataflow framework with compressing channels.
+* :mod:`repro.io` — real-socket/pipe adaptive transfer.
+* :mod:`repro.experiments` — reproduction harness for every paper
+  table and figure (``python -m repro.experiments``).
+"""
+
+from ._version import __version__
+from .codecs import (
+    DEFAULT_BLOCK_SIZE,
+    BlockReader,
+    BlockWriter,
+    Codec,
+    CodecRegistry,
+    decode_block,
+    encode_block,
+)
+from .core import (
+    DEFAULT_ALPHA,
+    DEFAULT_EPOCH_SECONDS,
+    AdaptiveBlockWriter,
+    AdaptiveController,
+    CompressionLevelTable,
+    DecisionModel,
+    StaticBlockWriter,
+    default_level_table,
+    get_next_compression_level,
+)
+from .data import Compressibility, RepeatingSource, SwitchingSource, SyntheticCorpus
+
+__all__ = [
+    "__version__",
+    # core
+    "get_next_compression_level",
+    "DecisionModel",
+    "AdaptiveController",
+    "AdaptiveBlockWriter",
+    "StaticBlockWriter",
+    "CompressionLevelTable",
+    "default_level_table",
+    "DEFAULT_ALPHA",
+    "DEFAULT_EPOCH_SECONDS",
+    # codecs
+    "Codec",
+    "CodecRegistry",
+    "BlockReader",
+    "BlockWriter",
+    "encode_block",
+    "decode_block",
+    "DEFAULT_BLOCK_SIZE",
+    # data
+    "Compressibility",
+    "SyntheticCorpus",
+    "RepeatingSource",
+    "SwitchingSource",
+]

@@ -1,0 +1,61 @@
+"""Compression substrate: codecs, registry, and self-contained block framing.
+
+Stand-ins for the paper's QuickLZ (zlib levels 1/6) and LZMA codecs plus
+the framing Nephele uses for its 128 KB channel buffers.
+"""
+
+from .base import Codec, CodecInfo
+from .block import (
+    DEFAULT_BLOCK_SIZE,
+    HEADER_SIZE,
+    BlockHeader,
+    BlockReader,
+    BlockWriter,
+    EncodedBlock,
+    decode_block,
+    decode_header,
+    encode_block,
+)
+from .bz2_codec import Bz2Codec
+from .errors import CodecError, CorruptBlockError, TruncatedStreamError, UnknownCodecError
+from .inspect import CodecUsage, StreamInfo, scan_block_stream
+from .lzma_codec import LzmaCodec
+from .null_codec import NullCodec
+from .registry import DEFAULT_REGISTRY, CodecRegistry, build_default_registry
+from .rle_codec import RleCodec
+from .stats import CodecMeasurement, measure_codec, measure_many
+from .zlib_codec import LightZlibCodec, MediumZlibCodec, ZlibCodec
+
+__all__ = [
+    "Codec",
+    "CodecInfo",
+    "CodecError",
+    "CorruptBlockError",
+    "TruncatedStreamError",
+    "UnknownCodecError",
+    "NullCodec",
+    "ZlibCodec",
+    "LightZlibCodec",
+    "MediumZlibCodec",
+    "LzmaCodec",
+    "Bz2Codec",
+    "RleCodec",
+    "CodecRegistry",
+    "build_default_registry",
+    "DEFAULT_REGISTRY",
+    "BlockHeader",
+    "BlockReader",
+    "BlockWriter",
+    "EncodedBlock",
+    "encode_block",
+    "decode_block",
+    "decode_header",
+    "DEFAULT_BLOCK_SIZE",
+    "HEADER_SIZE",
+    "CodecMeasurement",
+    "measure_codec",
+    "measure_many",
+    "scan_block_stream",
+    "StreamInfo",
+    "CodecUsage",
+]

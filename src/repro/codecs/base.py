@@ -1,0 +1,77 @@
+"""Codec interface.
+
+A :class:`Codec` turns a byte payload into a (hopefully smaller) byte
+payload and back.  Codecs are the lowest layer of the adaptive
+compression stack; everything above them — block framing, compression
+levels, the decision algorithm — treats them as opaque, *self-contained*
+transformations: every compressed payload must carry all state needed
+for decompression (no shared dictionaries across blocks), mirroring the
+paper's requirement that each 128 KB Nephele buffer be independently
+decompressible (Section III-B).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CodecInfo:
+    """Static description of a codec.
+
+    Attributes
+    ----------
+    codec_id:
+        Stable one-byte identifier written into block headers.  Must be
+        unique across the registry and never reused with different
+        semantics.
+    name:
+        Human-readable name (``"zlib-1"``, ``"lzma"``, ...).
+    description:
+        One-line description of the algorithm and its trade-off position.
+    """
+
+    codec_id: int
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.codec_id <= 255:
+            raise ValueError(f"codec_id must fit in one byte, got {self.codec_id}")
+
+
+class Codec(abc.ABC):
+    """Abstract self-contained byte-payload compressor.
+
+    Implementations must be stateless across calls (or at least
+    re-entrant): two threads may call :meth:`compress` concurrently.
+    """
+
+    #: Filled in by subclasses.
+    info: CodecInfo
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-contained payload."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`.
+
+        Raises
+        ------
+        repro.codecs.errors.CorruptBlockError
+            If the payload is not a valid output of :meth:`compress`.
+        """
+
+    @property
+    def codec_id(self) -> int:
+        return self.info.codec_id
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} id={self.codec_id} name={self.name!r}>"

@@ -1,0 +1,236 @@
+"""Self-contained block framing.
+
+Nephele "internally buffers data that is written to its file or network
+channel in memory blocks of at most 128 KB size ... Each of these blocks
+is passed independently to the [codec].  This means each block contains
+all the information to be decompressed by the receiver, including meta
+information about compression algorithm" (Section III-B).
+
+Frame layout (little-endian)::
+
+    offset  size  field
+    0       2     magic  b"AB"
+    2       1     format version (1)
+    3       1     codec id
+    4       1     flags
+    5       3     reserved (zero)
+    8       4     uncompressed length
+    12      4     compressed payload length
+    16      4     CRC32 of compressed payload
+    20      n     payload
+
+The CRC covers the payload as stored, so corruption is detected before
+the codec runs.  ``FLAG_STORED_FALLBACK`` records that compression was
+attempted but produced output not smaller than the input, in which case
+the payload is stored raw under the null codec id.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, Optional
+
+from .base import Codec
+from .errors import CorruptBlockError, TruncatedStreamError
+from .registry import DEFAULT_REGISTRY, CodecRegistry
+
+MAGIC = b"AB"
+FORMAT_VERSION = 1
+HEADER = struct.Struct("<2sBBB3xIII")
+HEADER_SIZE = HEADER.size  # 20 bytes
+
+#: Paper's default block payload size.
+DEFAULT_BLOCK_SIZE = 128 * 1024
+
+FLAG_STORED_FALLBACK = 0x01
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Decoded block frame header."""
+
+    codec_id: int
+    flags: int
+    uncompressed_len: int
+    compressed_len: int
+    crc32: int
+
+    @property
+    def stored_fallback(self) -> bool:
+        return bool(self.flags & FLAG_STORED_FALLBACK)
+
+
+@dataclass(frozen=True)
+class EncodedBlock:
+    """A fully framed block plus its bookkeeping numbers."""
+
+    frame: bytes
+    header: BlockHeader
+
+    @property
+    def frame_len(self) -> int:
+        return len(self.frame)
+
+    @property
+    def ratio(self) -> float:
+        """Compressed/uncompressed size ratio (1.0 == incompressible)."""
+        if self.header.uncompressed_len == 0:
+            return 1.0
+        return self.header.compressed_len / self.header.uncompressed_len
+
+
+def encode_block(data: bytes, codec: Codec, *, allow_stored_fallback: bool = True) -> EncodedBlock:
+    """Compress ``data`` with ``codec`` and wrap it in a frame.
+
+    If the codec expands the data and ``allow_stored_fallback`` is set,
+    the block is stored raw (codec id 0) with ``FLAG_STORED_FALLBACK``
+    so that incompressible data never costs more than the 20-byte
+    header.
+    """
+    payload = codec.compress(data)
+    codec_id = codec.codec_id
+    flags = 0
+    if allow_stored_fallback and codec_id != 0 and len(payload) >= len(data):
+        payload = bytes(data)
+        codec_id = 0
+        flags |= FLAG_STORED_FALLBACK
+    header = BlockHeader(
+        codec_id=codec_id,
+        flags=flags,
+        uncompressed_len=len(data),
+        compressed_len=len(payload),
+        crc32=zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    frame = (
+        HEADER.pack(
+            MAGIC,
+            FORMAT_VERSION,
+            header.codec_id,
+            header.flags,
+            header.uncompressed_len,
+            header.compressed_len,
+            header.crc32,
+        )
+        + payload
+    )
+    return EncodedBlock(frame=frame, header=header)
+
+
+def decode_header(raw: bytes) -> BlockHeader:
+    """Parse and validate a 20-byte frame header."""
+    if len(raw) < HEADER_SIZE:
+        raise TruncatedStreamError(
+            f"need {HEADER_SIZE} header bytes, got {len(raw)}"
+        )
+    magic, version, codec_id, flags, ulen, clen, crc = HEADER.unpack(raw[:HEADER_SIZE])
+    if magic != MAGIC:
+        raise CorruptBlockError(f"bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise CorruptBlockError(f"unsupported format version {version}")
+    return BlockHeader(
+        codec_id=codec_id,
+        flags=flags,
+        uncompressed_len=ulen,
+        compressed_len=clen,
+        crc32=crc,
+    )
+
+
+def decode_block(frame: bytes, registry: CodecRegistry = DEFAULT_REGISTRY) -> bytes:
+    """Decode one complete frame back to the original bytes."""
+    header = decode_header(frame)
+    payload = frame[HEADER_SIZE : HEADER_SIZE + header.compressed_len]
+    if len(payload) != header.compressed_len:
+        raise TruncatedStreamError(
+            f"frame payload truncated: expected {header.compressed_len} bytes, "
+            f"got {len(payload)}"
+        )
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != header.crc32:
+        raise CorruptBlockError("payload CRC mismatch")
+    data = registry.get(header.codec_id).decompress(payload)
+    if len(data) != header.uncompressed_len:
+        raise CorruptBlockError(
+            f"decompressed length {len(data)} != header claim "
+            f"{header.uncompressed_len}"
+        )
+    return data
+
+
+class BlockWriter:
+    """Write framed blocks to a binary file-like object.
+
+    The codec may change between blocks — this is exactly how the
+    adaptive scheme switches compression levels mid-stream.
+    """
+
+    def __init__(self, sink: BinaryIO, *, allow_stored_fallback: bool = True) -> None:
+        self._sink = sink
+        self._allow_stored_fallback = allow_stored_fallback
+        self.blocks_written = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def write_block(self, data: bytes, codec: Codec) -> EncodedBlock:
+        block = encode_block(
+            data, codec, allow_stored_fallback=self._allow_stored_fallback
+        )
+        self._sink.write(block.frame)
+        self.blocks_written += 1
+        self.bytes_in += block.header.uncompressed_len
+        self.bytes_out += block.frame_len
+        return block
+
+
+class BlockReader:
+    """Incrementally read framed blocks from a binary file-like object.
+
+    Handles short reads (sockets) by looping until a full frame is
+    available; distinguishes clean EOF (between frames) from truncation
+    (mid-frame).
+    """
+
+    def __init__(self, source: BinaryIO, registry: CodecRegistry = DEFAULT_REGISTRY) -> None:
+        self._source = source
+        self._registry = registry
+        self.blocks_read = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def _read_exact(self, n: int, *, allow_eof: bool) -> Optional[bytes]:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = self._source.read(remaining)
+            if not chunk:
+                if not chunks and allow_eof:
+                    return None
+                raise TruncatedStreamError(
+                    f"stream ended with {remaining} of {n} bytes outstanding"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def read_block(self) -> Optional[bytes]:
+        """Return the next decoded block, or ``None`` at clean EOF."""
+        raw_header = self._read_exact(HEADER_SIZE, allow_eof=True)
+        if raw_header is None:
+            return None
+        header = decode_header(raw_header)
+        payload = self._read_exact(header.compressed_len, allow_eof=False)
+        assert payload is not None
+        frame = raw_header + payload
+        data = decode_block(frame, self._registry)
+        self.blocks_read += 1
+        self.bytes_in += len(frame)
+        self.bytes_out += len(data)
+        return data
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            block = self.read_block()
+            if block is None:
+                return
+            yield block

@@ -1,0 +1,40 @@
+"""bzip2 codec — an optional extra level between MEDIUM and HEAVY.
+
+Not used by the paper's default four-level table, but the decision
+algorithm supports an arbitrary number of ordered levels (Section III-A
+explicitly allows "a fixed set of n compression levels"), so we provide
+bzip2 for users who want a finer-grained ladder and for ablation
+experiments with more levels.
+"""
+
+from __future__ import annotations
+
+import bz2
+
+from .base import Codec, CodecInfo
+from .errors import CorruptBlockError
+
+
+class Bz2Codec(Codec):
+    """bzip2 compression at a configurable compresslevel (1–9)."""
+
+    _ID_BASE = 32
+
+    def __init__(self, level: int = 9) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError(f"bz2 level must be in 1..9, got {level}")
+        self.level = level
+        self.info = CodecInfo(
+            codec_id=self._ID_BASE + level,
+            name=f"bz2-{level}",
+            description=f"bzip2 at compresslevel {level}",
+        )
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return bz2.decompress(data)
+        except (OSError, ValueError) as exc:
+            raise CorruptBlockError(f"bz2 payload corrupt: {exc}") from exc

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the codec subsystem."""
+
+from __future__ import annotations
+
+
+class CodecError(Exception):
+    """Base class for all codec-related failures."""
+
+
+class UnknownCodecError(CodecError):
+    """Raised when a codec id is not present in the registry."""
+
+    def __init__(self, codec_id: int) -> None:
+        super().__init__(f"unknown codec id {codec_id!r}")
+        self.codec_id = codec_id
+
+
+class CorruptBlockError(CodecError):
+    """Raised when a framed block fails structural or checksum validation."""
+
+
+class TruncatedStreamError(CorruptBlockError):
+    """Raised when a block stream ends in the middle of a frame."""

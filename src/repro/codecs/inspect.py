@@ -1,0 +1,90 @@
+"""Inspection of framed block streams without decompressing them.
+
+Walks a stream's 20-byte headers (seeking over payloads) and aggregates
+per-codec statistics — which codecs an adaptive transfer actually used,
+with what ratios.  Backs the ``repro-compress info`` CLI and is usable
+directly on any file-like object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import BinaryIO, Dict
+
+from .block import HEADER_SIZE, decode_header
+from .errors import TruncatedStreamError
+from .registry import DEFAULT_REGISTRY, CodecRegistry
+
+
+@dataclass
+class CodecUsage:
+    """Aggregate of all blocks that used one codec."""
+
+    codec_name: str
+    blocks: int = 0
+    uncompressed_bytes: int = 0
+    stream_bytes: int = 0  # compressed payloads + headers
+
+    @property
+    def ratio(self) -> float:
+        if self.uncompressed_bytes == 0:
+            return 1.0
+        return self.stream_bytes / self.uncompressed_bytes
+
+
+@dataclass
+class StreamInfo:
+    """Summary of a whole framed stream."""
+
+    blocks: int = 0
+    uncompressed_bytes: int = 0
+    stream_bytes: int = 0
+    fallback_blocks: int = 0
+    per_codec: Dict[str, CodecUsage] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        if self.uncompressed_bytes == 0:
+            return 1.0
+        return self.stream_bytes / self.uncompressed_bytes
+
+    @property
+    def codecs_used(self) -> int:
+        return len(self.per_codec)
+
+
+def scan_block_stream(
+    source: BinaryIO, registry: CodecRegistry = DEFAULT_REGISTRY
+) -> StreamInfo:
+    """Summarize a framed stream by reading headers only.
+
+    ``source`` must be seekable.  Raises
+    :class:`~repro.codecs.errors.TruncatedStreamError` on a stream that
+    ends mid-frame, and propagates header validation errors.
+    """
+    info = StreamInfo()
+    while True:
+        raw = source.read(HEADER_SIZE)
+        if not raw:
+            return info
+        if len(raw) < HEADER_SIZE:
+            raise TruncatedStreamError(
+                f"stream ended inside a header ({len(raw)} of {HEADER_SIZE} bytes)"
+            )
+        header = decode_header(raw)
+        try:
+            name = registry.get(header.codec_id).name
+        except Exception:
+            name = f"codec#{header.codec_id}"
+        if header.stored_fallback:
+            info.fallback_blocks += 1
+            name += " (fallback)"
+        usage = info.per_codec.setdefault(name, CodecUsage(codec_name=name))
+        frame_bytes = HEADER_SIZE + header.compressed_len
+        usage.blocks += 1
+        usage.uncompressed_bytes += header.uncompressed_len
+        usage.stream_bytes += frame_bytes
+        info.blocks += 1
+        info.uncompressed_bytes += header.uncompressed_len
+        info.stream_bytes += frame_bytes
+        source.seek(header.compressed_len, 1)

@@ -1,0 +1,22 @@
+"""The identity codec — compression level 0 ("NO") in the paper."""
+
+from __future__ import annotations
+
+from .base import Codec, CodecInfo
+
+
+class NullCodec(Codec):
+    """Pass bytes through unchanged.
+
+    Represents the paper's compression level 0 (no compression).  Kept
+    as a real codec so the block framing and the decision algorithm can
+    treat all levels uniformly.
+    """
+
+    info = CodecInfo(codec_id=0, name="null", description="identity / no compression")
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bytes(data)

@@ -1,0 +1,80 @@
+"""Codec registry.
+
+Maps stable one-byte codec ids to :class:`~repro.codecs.base.Codec`
+instances so that a block header alone suffices to pick the right
+decompressor — the paper's requirement that "each block contains all
+the information to be decompressed by the receiver, including meta
+information about compression algorithm" (Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from .base import Codec
+from .bz2_codec import Bz2Codec
+from .errors import UnknownCodecError
+from .lzma_codec import LzmaCodec
+from .null_codec import NullCodec
+from .rle_codec import RleCodec
+from .zlib_codec import ZlibCodec
+
+
+class CodecRegistry:
+    """A mutable id → codec mapping with collision checking."""
+
+    def __init__(self) -> None:
+        self._codecs: Dict[int, Codec] = {}
+
+    def register(self, codec: Codec) -> Codec:
+        """Register ``codec``; idempotent for the same name, rejects id reuse."""
+        existing = self._codecs.get(codec.codec_id)
+        if existing is not None:
+            if existing.name == codec.name:
+                return existing
+            raise ValueError(
+                f"codec id {codec.codec_id} already bound to {existing.name!r}, "
+                f"cannot rebind to {codec.name!r}"
+            )
+        self._codecs[codec.codec_id] = codec
+        return codec
+
+    def get(self, codec_id: int) -> Codec:
+        try:
+            return self._codecs[codec_id]
+        except KeyError:
+            raise UnknownCodecError(codec_id) from None
+
+    def by_name(self, name: str) -> Codec:
+        for codec in self._codecs.values():
+            if codec.name == name:
+                return codec
+        raise KeyError(f"no codec named {name!r}")
+
+    def __contains__(self, codec_id: int) -> bool:
+        return codec_id in self._codecs
+
+    def __iter__(self) -> Iterator[Codec]:
+        return iter(self._codecs.values())
+
+    def __len__(self) -> int:
+        return len(self._codecs)
+
+
+def build_default_registry() -> CodecRegistry:
+    """All codecs shipped with the library, under their stable ids."""
+    registry = CodecRegistry()
+    registry.register(NullCodec())
+    for level in range(1, 10):
+        registry.register(ZlibCodec(level))
+    for preset in range(0, 7):
+        registry.register(LzmaCodec(preset))
+    for level in (1, 9):
+        registry.register(Bz2Codec(level))
+    registry.register(RleCodec())
+    return registry
+
+
+#: Shared default registry.  Callers that need isolation should build
+#: their own via :func:`build_default_registry`.
+DEFAULT_REGISTRY = build_default_registry()

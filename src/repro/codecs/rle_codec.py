@@ -1,0 +1,100 @@
+"""A dependency-free run-length codec written in pure Python.
+
+This codec exists for three reasons:
+
+1. It gives the test suite a codec whose behaviour is fully transparent
+   (no C library involved), useful for property tests of the framing
+   layer.
+2. It is extremely fast on the HIGH-compressibility class (long runs,
+   like the paper's ``ptt5`` fax bitmap) and near-useless on random
+   data — a caricature of the LIGHT/QuickLZ trade-off that makes
+   crossover behaviour easy to provoke in small tests.
+3. It demonstrates that the level table is genuinely pluggable.
+
+Wire format: a sequence of chunks.  A control byte ``c`` introduces each
+chunk:
+
+* ``c < 0x80`` — a literal chunk: the next ``c + 1`` bytes are copied
+  verbatim (1..128 literals).
+* ``c >= 0x80`` — a run chunk: the next single byte is repeated
+  ``(c - 0x80) + MIN_RUN`` times (``MIN_RUN``..``MIN_RUN + 127``).
+
+Runs shorter than ``MIN_RUN`` are not worth a control byte and are
+emitted as literals.
+"""
+
+from __future__ import annotations
+
+from .base import Codec, CodecInfo
+from .errors import CorruptBlockError
+
+MIN_RUN = 4
+MAX_RUN = MIN_RUN + 127
+MAX_LITERAL = 128
+
+
+def rle_encode(data: bytes) -> bytes:
+    """Encode ``data`` with the chunked RLE format described above."""
+    out = bytearray()
+    literals = bytearray()
+    n = len(data)
+    i = 0
+
+    def flush_literals() -> None:
+        # Emit pending literals in <=128-byte chunks.
+        pos = 0
+        while pos < len(literals):
+            chunk = literals[pos : pos + MAX_LITERAL]
+            out.append(len(chunk) - 1)
+            out.extend(chunk)
+            pos += len(chunk)
+        literals.clear()
+
+    while i < n:
+        byte = data[i]
+        run = 1
+        while i + run < n and run < MAX_RUN and data[i + run] == byte:
+            run += 1
+        if run >= MIN_RUN:
+            flush_literals()
+            out.append(0x80 + (run - MIN_RUN))
+            out.append(byte)
+        else:
+            literals.extend(data[i : i + run])
+        i += run
+    flush_literals()
+    return bytes(out)
+
+
+def rle_decode(data: bytes) -> bytes:
+    """Invert :func:`rle_encode`."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        control = data[i]
+        i += 1
+        if control < 0x80:
+            length = control + 1
+            if i + length > n:
+                raise CorruptBlockError("RLE literal chunk truncated")
+            out.extend(data[i : i + length])
+            i += length
+        else:
+            if i >= n:
+                raise CorruptBlockError("RLE run chunk truncated")
+            out.extend(bytes([data[i]]) * ((control - 0x80) + MIN_RUN))
+            i += 1
+    return bytes(out)
+
+
+class RleCodec(Codec):
+    """Pure-Python run-length codec (see module docstring)."""
+
+    info = CodecInfo(codec_id=48, name="rle", description="pure-Python run-length encoding")
+
+    def compress(self, data: bytes) -> bytes:
+        return rle_encode(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return rle_decode(data)

@@ -1,0 +1,86 @@
+"""Codec measurement utilities.
+
+These helpers time real codecs on real data.  They have two consumers:
+
+* ``benchmarks/bench_codecs.py`` — the per-codec micro-benchmark.
+* ``repro.sim.calibration`` — sanity checks that the simulator's codec
+  model (speed/ratio per level and compressibility class) stays within
+  an order of magnitude of what the actual Python codecs achieve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .base import Codec
+
+
+@dataclass(frozen=True)
+class CodecMeasurement:
+    """One codec measured on one payload."""
+
+    codec_name: str
+    payload_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """Compressed/original size (smaller is better; 1.0 incompressible)."""
+        if self.payload_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self.payload_bytes
+
+    @property
+    def compress_mb_per_s(self) -> float:
+        if self.compress_seconds <= 0:
+            return float("inf")
+        return self.payload_bytes / 1e6 / self.compress_seconds
+
+    @property
+    def decompress_mb_per_s(self) -> float:
+        if self.decompress_seconds <= 0:
+            return float("inf")
+        return self.payload_bytes / 1e6 / self.decompress_seconds
+
+
+def measure_codec(
+    codec: Codec,
+    payload: bytes,
+    *,
+    repeats: int = 3,
+    clock: Callable[[], float] = time.perf_counter,
+) -> CodecMeasurement:
+    """Measure best-of-``repeats`` compress/decompress times on ``payload``."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    compressed = codec.compress(payload)
+    best_c = float("inf")
+    best_d = float("inf")
+    for _ in range(repeats):
+        t0 = clock()
+        codec.compress(payload)
+        best_c = min(best_c, clock() - t0)
+        t0 = clock()
+        codec.decompress(compressed)
+        best_d = min(best_d, clock() - t0)
+    return CodecMeasurement(
+        codec_name=codec.name,
+        payload_bytes=len(payload),
+        compress_seconds=best_c,
+        decompress_seconds=best_d,
+        compressed_bytes=len(compressed),
+    )
+
+
+def measure_many(
+    codecs: Sequence[Codec],
+    payload: bytes,
+    *,
+    repeats: int = 3,
+) -> list[CodecMeasurement]:
+    """Measure several codecs on the same payload."""
+    return [measure_codec(c, payload, repeats=repeats) for c in codecs]

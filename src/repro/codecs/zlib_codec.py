@@ -1,0 +1,56 @@
+"""zlib-backed codecs — stand-ins for the paper's QuickLZ levels.
+
+The paper uses QuickLZ with a fast setting as level 1 (LIGHT) and a
+better-ratio setting as level 2 (MEDIUM).  QuickLZ is not packaged for
+Python; ``zlib`` at level 1 and level 6 occupies the same *ordering* on
+the time/compression-ratio axis, which is all the decision algorithm
+requires (levels "must be ordered by their respective time/compression
+ratio", Section III-A).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from .base import Codec, CodecInfo
+from .errors import CorruptBlockError
+
+
+class ZlibCodec(Codec):
+    """DEFLATE compression at a configurable zlib level (1–9)."""
+
+    #: codec ids 1..9 are reserved for zlib levels 1..9.
+    _ID_BASE = 0
+
+    def __init__(self, level: int) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError(f"zlib level must be in 1..9, got {level}")
+        self.level = level
+        self.info = CodecInfo(
+            codec_id=self._ID_BASE + level,
+            name=f"zlib-{level}",
+            description=f"DEFLATE at zlib level {level}",
+        )
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CorruptBlockError(f"zlib payload corrupt: {exc}") from exc
+
+
+class LightZlibCodec(ZlibCodec):
+    """LIGHT level: fastest DEFLATE setting (QuickLZ level-1 stand-in)."""
+
+    def __init__(self) -> None:
+        super().__init__(level=1)
+
+
+class MediumZlibCodec(ZlibCodec):
+    """MEDIUM level: default DEFLATE setting (QuickLZ level-3 stand-in)."""
+
+    def __init__(self) -> None:
+        super().__init__(level=6)

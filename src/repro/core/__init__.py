@@ -1,0 +1,46 @@
+"""The paper's primary contribution: rate-based adaptive compression.
+
+Algorithm 1 (:func:`get_next_compression_level` / :class:`DecisionModel`),
+the epoch-driven :class:`AdaptiveController`, compression level tables,
+and adaptive block-stream writers.
+"""
+
+from .backoff import BackoffTable
+from .controller import AdaptiveController, EpochRecord
+from .decision import (
+    DEFAULT_ALPHA,
+    DEFAULT_EPOCH_SECONDS,
+    Decision,
+    DecisionModel,
+    DecisionState,
+    get_next_compression_level,
+)
+from .levels import (
+    PAPER_LEVEL_NAMES,
+    CompressionLevel,
+    CompressionLevelTable,
+    default_level_table,
+)
+from .rate import EpochSample, RateMeter, RateWindow
+from .stream import AdaptiveBlockWriter, StaticBlockWriter
+
+__all__ = [
+    "get_next_compression_level",
+    "DecisionModel",
+    "DecisionState",
+    "Decision",
+    "DEFAULT_ALPHA",
+    "DEFAULT_EPOCH_SECONDS",
+    "BackoffTable",
+    "AdaptiveController",
+    "EpochRecord",
+    "RateMeter",
+    "RateWindow",
+    "EpochSample",
+    "CompressionLevel",
+    "CompressionLevelTable",
+    "default_level_table",
+    "PAPER_LEVEL_NAMES",
+    "AdaptiveBlockWriter",
+    "StaticBlockWriter",
+]

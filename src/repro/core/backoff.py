@@ -1,0 +1,52 @@
+"""Per-level exponential backoff bookkeeping (Algorithm 1's ``bck`` array).
+
+"A fundamental aspect of our algorithm is that these switches occur less
+often for compression levels which have continuously led to improvements
+in the data rate.  We achieve this behavior through an exponential
+backoff scheme." (Section III-A)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BackoffTable:
+    """The ``bck`` array: one exponential backoff exponent per level.
+
+    ``threshold(level)`` is ``2 ** bck[level]`` — the number of
+    consecutive stable epochs that must pass at ``level`` before the
+    algorithm probes a neighbouring level again.
+    """
+
+    #: Cap on the exponent so ``2**bck`` stays a sane integer even on
+    #: very long runs (2**30 epochs at t=2 s is ~68 years).
+    MAX_EXPONENT = 30
+
+    def __init__(self, n_levels: int) -> None:
+        if n_levels < 1:
+            raise ValueError("need at least one level")
+        self._bck: List[int] = [0] * n_levels
+
+    def __len__(self) -> int:
+        return len(self._bck)
+
+    def exponent(self, level: int) -> int:
+        return self._bck[level]
+
+    def threshold(self, level: int) -> int:
+        """Number of stable epochs before the next optimistic probe."""
+        return 1 << self._bck[level]
+
+    def reward(self, level: int) -> None:
+        """Rate improved at ``level``: probe less often (line 16)."""
+        if self._bck[level] < self.MAX_EXPONENT:
+            self._bck[level] += 1
+
+    def punish(self, level: int) -> None:
+        """Rate degraded at ``level``: probe eagerly again (line 20)."""
+        self._bck[level] = 0
+
+    def snapshot(self) -> List[int]:
+        """Copy of the exponents (for traces and tests)."""
+        return list(self._bck)

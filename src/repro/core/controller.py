@@ -1,0 +1,139 @@
+"""The adaptive controller: epoch clock + decision model + trace.
+
+This is the piece both execution environments share.  The real I/O path
+(:mod:`repro.io`, :mod:`repro.nephele`) calls :meth:`AdaptiveController.record`
+as application bytes pass through and :meth:`AdaptiveController.poll`
+with wall-clock time; the simulator (:mod:`repro.sim.transfer`) drives
+the very same class with simulated time.  Keeping a single controller
+implementation is what makes the simulation results statements about
+the *algorithm* rather than about a re-implementation of it.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .decision import DEFAULT_ALPHA, DEFAULT_EPOCH_SECONDS, DecisionModel
+from .rate import EpochSample, RateMeter
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One controller epoch, for traces (Figures 4–6 style plots)."""
+
+    epoch: int
+    start: float
+    end: float
+    app_bytes: int
+    app_rate: float
+    level_before: int
+    level_after: int
+    backoff_snapshot: List[int]
+
+    @property
+    def level_changed(self) -> bool:
+        return self.level_after != self.level_before
+
+
+class AdaptiveController:
+    """Re-decides the compression level every ``epoch_seconds``.
+
+    Parameters
+    ----------
+    n_levels:
+        Size of the compression-level ladder.
+    epoch_seconds:
+        The paper's ``t`` (default 2 s).
+    alpha:
+        The paper's dead-band parameter (default 0.2).
+    initial_level:
+        Starting level; the paper starts at 0 (no compression).
+    clock_start:
+        Timestamp of the first epoch's start, in whatever clock the
+        caller uses (wall seconds or simulated seconds).
+    """
+
+    def __init__(
+        self,
+        n_levels: int,
+        epoch_seconds: float = DEFAULT_EPOCH_SECONDS,
+        alpha: float = DEFAULT_ALPHA,
+        initial_level: int = 0,
+        clock_start: float = 0.0,
+    ) -> None:
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        self.epoch_seconds = epoch_seconds
+        self.model = DecisionModel(n_levels, alpha=alpha, initial_level=initial_level)
+        self.meter = RateMeter(clock_start=clock_start)
+        self.trace: List[EpochRecord] = []
+        self._epoch_index = 0
+
+    @property
+    def current_level(self) -> int:
+        return self.model.current_level
+
+    @property
+    def total_bytes(self) -> int:
+        return self.meter.total_bytes
+
+    def record(self, nbytes: int) -> None:
+        """Account application bytes handed to the compression module."""
+        self.meter.record(nbytes)
+
+    def poll(self, now: float) -> Optional[EpochRecord]:
+        """Re-decide if the current epoch has elapsed.
+
+        Returns the closed epoch's record when a decision was made,
+        otherwise ``None``.  Callers should invoke this frequently
+        (after every block in practice); the controller ignores calls
+        inside an open epoch, so over-calling is free.
+        """
+        if now - self.meter.epoch_start < self.epoch_seconds:
+            return None
+        return self.force_decision(now)
+
+    def force_decision(self, now: float) -> EpochRecord:
+        """Close the epoch at ``now`` unconditionally and re-decide."""
+        sample: EpochSample = self.meter.close_epoch(now)
+        level_before = self.model.current_level
+        level_after = self.model.observe(sample.rate)
+        record = EpochRecord(
+            epoch=self._epoch_index,
+            start=sample.start,
+            end=sample.end,
+            app_bytes=sample.nbytes,
+            app_rate=sample.rate,
+            level_before=level_before,
+            level_after=level_after,
+            backoff_snapshot=self.model.state.bck.snapshot(),
+        )
+        self.trace.append(record)
+        self._epoch_index += 1
+        if record.level_changed and logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "epoch %d: rate %.2f MB/s, level %d -> %d (bck=%s)",
+                record.epoch,
+                record.app_rate / 1e6,
+                record.level_before,
+                record.level_after,
+                record.backoff_snapshot,
+            )
+        return record
+
+    def level_timeline(self) -> List[tuple[float, int]]:
+        """(time, level) change points reconstructed from the trace."""
+        timeline: List[tuple[float, int]] = []
+        last_level: Optional[int] = None
+        for rec in self.trace:
+            if rec.level_before != last_level:
+                timeline.append((rec.start, rec.level_before))
+                last_level = rec.level_before
+            if rec.level_changed:
+                timeline.append((rec.end, rec.level_after))
+                last_level = rec.level_after
+        return timeline

@@ -1,0 +1,119 @@
+"""Compression level tables.
+
+"We assume that our adaptive compression algorithm can choose between a
+fixed set of n compression levels. ... The individual compression levels
+must be ordered by their respective time/compression ratio.  Compression
+level 0 stands for no compression."  (Section III-A)
+
+The default table reproduces the paper's four levels (Section III-B):
+
+====== ======== ============================== =========================
+Level  Name     Paper                          This library
+====== ======== ============================== =========================
+0      NO       no compression                 :class:`NullCodec`
+1      LIGHT    QuickLZ, fastest setting       ``zlib`` level 1
+2      MEDIUM   QuickLZ, better-ratio setting  ``zlib`` level 6
+3      HEAVY    LZMA                           ``lzma`` preset 4
+====== ======== ============================== =========================
+
+(Preset 4 is the smallest preset that strictly out-compresses zlib-6 on
+the MODERATE corpus, keeping the ladder ordered by time/compression
+ratio as the paper requires.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..codecs.base import Codec
+from ..codecs.lzma_codec import LzmaCodec
+from ..codecs.null_codec import NullCodec
+from ..codecs.zlib_codec import LightZlibCodec, MediumZlibCodec
+
+#: Canonical names of the paper's four levels, by index.
+PAPER_LEVEL_NAMES = ("NO", "LIGHT", "MEDIUM", "HEAVY")
+
+
+@dataclass(frozen=True)
+class CompressionLevel:
+    """One rung of the ladder: an index, a display name and a codec."""
+
+    index: int
+    name: str
+    codec: Codec
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.index}:{self.name}"
+
+
+class CompressionLevelTable:
+    """An ordered, immutable sequence of compression levels.
+
+    Level 0 must be the null codec (the paper's "no compression"),
+    because the decision algorithm's semantics — e.g. "without
+    compression the application data rate is not affected by the
+    compressibility of the data" (Section IV-B) — depend on it.
+    """
+
+    def __init__(self, levels: Sequence[CompressionLevel]) -> None:
+        if not levels:
+            raise ValueError("need at least one level")
+        for i, level in enumerate(levels):
+            if level.index != i:
+                raise ValueError(
+                    f"level at position {i} has index {level.index}; levels "
+                    "must be contiguous from 0"
+                )
+        if levels[0].codec.codec_id != 0:
+            raise ValueError("level 0 must use the null codec (no compression)")
+        names = [lvl.name for lvl in levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate level names: {names}")
+        self._levels = tuple(levels)
+
+    @classmethod
+    def from_codecs(cls, codecs: Sequence[Codec], names: Sequence[str] | None = None) -> "CompressionLevelTable":
+        if names is None:
+            names = [c.name.upper() for c in codecs]
+        if len(names) != len(codecs):
+            raise ValueError("names and codecs must have the same length")
+        return cls(
+            [
+                CompressionLevel(index=i, name=name, codec=codec)
+                for i, (name, codec) in enumerate(zip(names, codecs))
+            ]
+        )
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __getitem__(self, index: int) -> CompressionLevel:
+        return self._levels[index]
+
+    def __iter__(self) -> Iterator[CompressionLevel]:
+        return iter(self._levels)
+
+    def codec(self, index: int) -> Codec:
+        return self._levels[index].codec
+
+    def name(self, index: int) -> str:
+        return self._levels[index].name
+
+    def index_of(self, name: str) -> int:
+        for level in self._levels:
+            if level.name == name:
+                return level.index
+        raise KeyError(f"no level named {name!r}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(lvl.name for lvl in self._levels)
+
+
+def default_level_table() -> CompressionLevelTable:
+    """The paper's NO / LIGHT / MEDIUM / HEAVY ladder."""
+    return CompressionLevelTable.from_codecs(
+        [NullCodec(), LightZlibCodec(), MediumZlibCodec(), LzmaCodec(preset=4)],
+        names=list(PAPER_LEVEL_NAMES),
+    )

@@ -1,0 +1,100 @@
+"""Application data rate measurement.
+
+The decision model's single input is "the amount of application data
+which has been received from the application, (possibly) compressed,
+and passed to the I/O layer during [the last t seconds]"
+(Section III-A).  :class:`RateMeter` accumulates those bytes and turns
+them into a rate at epoch boundaries; :class:`RateWindow` keeps a small
+history for smoothing and traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+
+@dataclass(frozen=True)
+class EpochSample:
+    """Bytes moved during one closed epoch."""
+
+    start: float
+    end: float
+    nbytes: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Bytes per second over the epoch (0 for an empty epoch)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.nbytes / self.duration
+
+
+class RateMeter:
+    """Accumulates application bytes within the current epoch."""
+
+    def __init__(self, clock_start: float = 0.0) -> None:
+        self._epoch_start = clock_start
+        self._bytes = 0
+        self.total_bytes = 0
+
+    @property
+    def epoch_start(self) -> float:
+        return self._epoch_start
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._bytes
+
+    def record(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self._bytes += nbytes
+        self.total_bytes += nbytes
+
+    def close_epoch(self, now: float) -> EpochSample:
+        """End the current epoch at ``now`` and start the next one."""
+        if now < self._epoch_start:
+            raise ValueError(
+                f"clock went backwards: epoch started at {self._epoch_start}, "
+                f"now is {now}"
+            )
+        sample = EpochSample(start=self._epoch_start, end=now, nbytes=self._bytes)
+        self._epoch_start = now
+        self._bytes = 0
+        return sample
+
+
+class RateWindow:
+    """Fixed-size history of epoch samples with aggregate helpers."""
+
+    def __init__(self, maxlen: int = 64) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self._samples: Deque[EpochSample] = deque(maxlen=maxlen)
+
+    def push(self, sample: EpochSample) -> None:
+        self._samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def last(self) -> Optional[EpochSample]:
+        return self._samples[-1] if self._samples else None
+
+    def mean_rate(self) -> float:
+        """Duration-weighted mean rate over the window."""
+        total_bytes = sum(s.nbytes for s in self._samples)
+        total_time = sum(s.duration for s in self._samples)
+        if total_time <= 0:
+            return 0.0
+        return total_bytes / total_time
+
+    def rates(self) -> list[float]:
+        return [s.rate for s in self._samples]

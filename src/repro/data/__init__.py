@@ -1,0 +1,41 @@
+"""Workload substrate: synthetic corpus, compressibility tools, data sources."""
+
+from .compressibility import mean_measured_ratio, measured_ratio, shannon_entropy
+from .corpus import (
+    DEFAULT_FILE_SIZE,
+    Compressibility,
+    SyntheticCorpus,
+    generate,
+    generate_high,
+    generate_low,
+    generate_moderate,
+    write_corpus_files,
+)
+from .datasource import (
+    DataSource,
+    RepeatingSource,
+    Segment,
+    SwitchingSource,
+    iter_blocks,
+)
+from .markov import MarkovTextModel
+
+__all__ = [
+    "Compressibility",
+    "SyntheticCorpus",
+    "DEFAULT_FILE_SIZE",
+    "generate",
+    "generate_high",
+    "generate_moderate",
+    "generate_low",
+    "write_corpus_files",
+    "shannon_entropy",
+    "measured_ratio",
+    "mean_measured_ratio",
+    "MarkovTextModel",
+    "DataSource",
+    "RepeatingSource",
+    "SwitchingSource",
+    "Segment",
+    "iter_blocks",
+]

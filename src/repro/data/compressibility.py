@@ -1,0 +1,42 @@
+"""Compressibility estimation helpers.
+
+The decision algorithm itself deliberately never inspects the data
+(Section III), but tests, workload generators and the simulator's codec
+model need to quantify how compressible payloads are.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+from ..codecs.base import Codec
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Shannon entropy of the byte distribution, in bits per byte (0..8)."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    n = len(data)
+    return -sum((c / n) * math.log2(c / n) for c in counts.values())
+
+
+def measured_ratio(data: bytes, codec: Codec) -> float:
+    """Compressed/original size ratio under ``codec`` (1.0 = incompressible)."""
+    if not data:
+        return 1.0
+    return len(codec.compress(data)) / len(data)
+
+
+def mean_measured_ratio(chunks: Iterable[bytes], codec: Codec) -> float:
+    """Size-weighted mean ratio across ``chunks``."""
+    total_in = 0
+    total_out = 0
+    for chunk in chunks:
+        total_in += len(chunk)
+        total_out += len(codec.compress(chunk))
+    if total_in == 0:
+        return 1.0
+    return total_out / total_in

@@ -1,0 +1,113 @@
+"""Order-k character Markov model for English-like text generation.
+
+Used by :mod:`repro.data.corpus` to synthesize a stand-in for the
+Canterbury corpus file ``alice29.txt`` (the paper's MODERATE
+compressibility class, zlib ratio roughly 30–50 %).  Training text is
+embedded so generation works fully offline and deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+#: Embedded training text.  Plain descriptive English; only its
+#: *statistics* matter (letter frequencies and digraph/trigraph
+#: structure typical of English prose).
+TRAINING_TEXT = """
+the cloud customer can usually assume one of the following reasons for the
+degraded performance of the input and output path of a virtual machine. on
+the one hand the virtualized path is known to cause processor overhead so in
+scenarios with high load it may be the processor resources allocated to the
+virtual machine which limit the data throughput. on the other hand several
+virtual machines may be located on the same physical host and in fact share
+the resources of the host system. as a result the workload induced by one
+virtual machine can negatively affect the performance of another machine and
+lead to unpredictable fluctuations that are hard to measure from inside.
+a variety of projects is currently working to improve the performance and
+fairness of shared input and output paths. however since these proposals
+require modifications to either the operating system kernel or the manager
+of the virtual machines the users of commercial clouds cannot benefit from
+those until their providers consider them mature enough to be adopted. for
+this reason we present an approach to mitigate the effects of sharing which
+can be applied by the customers without assistance of the providers namely
+adaptive online compression of the outgoing stream of data. the idea is to
+improve the throughput by continuously choosing between different levels of
+compression and applying them dynamically to the outgoing data. the level
+is selected by a decision model which constantly estimates the gain based
+on measures like the current load the available bandwidth or the nature of
+the data itself. although several adaptive schemes have been introduced in
+recent years it is unclear whether they can be applied in such environments
+because most of the existing schemes require a training phase in order to
+calibrate their decision model and during that phase an unloaded system with
+stable characteristics is assumed. in a cloud where information on the
+physical infrastructure and neighbouring machines is not available this
+assumption does not necessarily hold. the decision models of existing
+schemes rely on the displayed measures of the operating system like the
+current utilization or available bandwidth. however the accuracy of these
+measures in virtual environments had not been studied so far. when the white
+rabbit ran close by her alice started to her feet for it flashed across her
+mind that she had never before seen a rabbit with either a waistcoat pocket
+or a watch to take out of it and burning with curiosity she ran across the
+field after it and fortunately was just in time to see it pop down a large
+rabbit hole under the hedge. in another moment down went alice after it
+never once considering how in the world she was to get out again. the rabbit
+hole went straight on like a tunnel for some way and then dipped suddenly
+down so suddenly that alice had not a moment to think about stopping herself
+before she found herself falling down a very deep well. either the well was
+very deep or she fell very slowly for she had plenty of time as she went
+down to look about her and to wonder what was going to happen next.
+"""
+
+
+class MarkovTextModel:
+    """Order-``k`` character-level Markov chain over the training text."""
+
+    def __init__(self, order: int = 2, training_text: str = TRAINING_TEXT) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        text = " ".join(training_text.split())
+        if len(text) <= order:
+            raise ValueError("training text shorter than model order")
+        self.order = order
+        self._transitions: Dict[str, Tuple[List[str], List[int]]] = {}
+        table: Dict[str, Counter] = defaultdict(Counter)
+        for i in range(len(text) - order):
+            state = text[i : i + order]
+            table[state][text[i + order]] += 1
+        for state, counter in table.items():
+            chars, weights = zip(*sorted(counter.items()))
+            self._transitions[state] = (list(chars), list(weights))
+        self._start_state = text[:order]
+
+    @property
+    def n_states(self) -> int:
+        return len(self._transitions)
+
+    def generate(self, n_chars: int, rng: random.Random) -> str:
+        """Generate ``n_chars`` characters of English-like text."""
+        if n_chars <= 0:
+            return ""
+        out: List[str] = list(self._start_state[: min(self.order, n_chars)])
+        state = self._start_state
+        while len(out) < n_chars:
+            entry = self._transitions.get(state)
+            if entry is None:
+                # Dead end (only possible for the text's final state):
+                # restart from the beginning.
+                state = self._start_state
+                continue
+            chars, weights = entry
+            nxt = rng.choices(chars, weights)[0]
+            out.append(nxt)
+            state = (state + nxt)[-self.order :]
+        return "".join(out[:n_chars])
+
+    def generate_bytes(self, n_bytes: int, rng: random.Random) -> bytes:
+        """Generate ``n_bytes`` of ASCII text with line breaks every ~72 chars."""
+        raw = self.generate(n_bytes, rng)
+        chars = list(raw)
+        for i in range(72, len(chars), 73):
+            chars[i] = "\n"
+        return "".join(chars).encode("ascii")

@@ -1,0 +1,14 @@
+"""Reproduction harness: one module per paper table/figure + ablations.
+
+Run everything with ``python -m repro.experiments`` (scaled to 10 % of
+the paper's data volumes by default; ``--scale 1.0`` for the full run).
+"""
+
+from .common import SCHEME_ORDER, ExperimentResult, scaled_bytes, scheme_factories
+
+__all__ = [
+    "ExperimentResult",
+    "SCHEME_ORDER",
+    "scheme_factories",
+    "scaled_bytes",
+]

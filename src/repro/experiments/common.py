@@ -1,0 +1,70 @@
+"""Shared experiment plumbing: result containers and scale control.
+
+Every experiment accepts a ``scale`` in (0, 1]: 1.0 reruns the paper's
+full data volumes (50 GB transfers), smaller values shrink volumes
+proportionally for quick runs (benchmarks default to 0.1, tests to
+~0.02).  Epoch length and all rates are *not* scaled — only volume —
+so a scaled run has proportionally fewer decision epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..schemes.base import CompressionScheme
+from ..schemes.rate_based import RateBasedScheme
+from ..schemes.static import StaticScheme
+from ..sim.scenario import PAPER_TOTAL_BYTES
+
+#: The paper's scheme line-up for Table II, in row order.
+SCHEME_ORDER = ("NO", "LIGHT", "MEDIUM", "HEAVY", "DYNAMIC")
+
+
+def scheme_factories() -> Dict[str, Callable[[int], CompressionScheme]]:
+    """Factories for the five Table II rows."""
+
+    def static(level: int, name: str) -> Callable[[int], CompressionScheme]:
+        return lambda n: StaticScheme(n, level, name=name)
+
+    return {
+        "NO": static(0, "NO"),
+        "LIGHT": static(1, "LIGHT"),
+        "MEDIUM": static(2, "MEDIUM"),
+        "HEAVY": static(3, "HEAVY"),
+        "DYNAMIC": lambda n: RateBasedScheme(n),
+    }
+
+
+def scaled_bytes(scale: float, full: int = PAPER_TOTAL_BYTES) -> int:
+    """Paper volume scaled down; at least 200 MB so several epochs run."""
+    if not 0 < scale <= 1:
+        raise ValueError("scale must be in (0, 1]")
+    return max(int(full * scale), 200 * 10**6)
+
+
+@dataclass
+class ExperimentResult:
+    """What every experiment module returns."""
+
+    experiment_id: str
+    title: str
+    #: Rendered ASCII artifact (table / bars / series).
+    rendered: str
+    #: Shape-assertion lines (``[OK]``/``[FAIL] ...``).
+    checks: List[str] = field(default_factory=list)
+    #: Descriptions of failed checks (empty == all shapes hold).
+    failures: List[str] = field(default_factory=list)
+    #: Raw numbers for programmatic consumers (benchmarks, tests).
+    data: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.rendered]
+        if self.checks:
+            parts.append("")
+            parts.extend(self.checks)
+        return "\n".join(parts)

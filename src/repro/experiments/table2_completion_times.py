@@ -1,0 +1,155 @@
+"""Table II: completion times of the 50 GB sample job.
+
+3 compressibility classes x {0,1,2,3} background connections x
+{NO, LIGHT, MEDIUM, HEAVY, DYNAMIC}, mean (SD) over repeats.
+
+Expected shapes (asserted):
+* LIGHT wins the HIGH column at every concurrency;
+* NO wins MODERATE and LOW with no background traffic;
+* MEDIUM overtakes LIGHT on MODERATE data at 3 connections (the
+  paper's crossover);
+* DYNAMIC is never more than ~25 % slower than the best static level
+  (paper: at most 22 %);
+* DYNAMIC beats NO by ~4x on HIGH data with 3 connections.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Tuple
+
+from ..data.corpus import Compressibility
+from ..sim.scenario import ScenarioConfig, run_transfer_scenario
+from .common import SCHEME_ORDER, ExperimentResult, scaled_bytes, scheme_factories
+from .reporting import check, format_table
+
+CONCURRENCY_LEVELS = (0, 1, 2, 3)
+CLASS_ORDER = (Compressibility.HIGH, Compressibility.MODERATE, Compressibility.LOW)
+
+Cell = Tuple[int, Compressibility, str]  # (n_background, class, scheme)
+
+
+def run_cells(
+    scale: float, repeats: int, seed: int
+) -> Dict[Cell, List[float]]:
+    factories = scheme_factories()
+    total = scaled_bytes(scale)
+    results: Dict[Cell, List[float]] = {}
+    for n_background in CONCURRENCY_LEVELS:
+        for cls in CLASS_ORDER:
+            for scheme_name in SCHEME_ORDER:
+                times = []
+                for r in range(repeats):
+                    cfg = ScenarioConfig(
+                        scheme_factory=factories[scheme_name],
+                        compressibility=cls,
+                        total_bytes=total,
+                        n_background=n_background,
+                        seed=seed + 1000 * r,
+                    )
+                    times.append(run_transfer_scenario(cfg).completion_time)
+                results[(n_background, cls, scheme_name)] = times
+    return results
+
+
+def run(scale: float = 0.1, repeats: int = 3, seed: int = 41) -> ExperimentResult:
+    results = run_cells(scale, repeats, seed)
+
+    def mean(cell: Cell) -> float:
+        return statistics.fmean(results[cell])
+
+    sections = []
+    for n_background in CONCURRENCY_LEVELS:
+        rows = []
+        for scheme_name in SCHEME_ORDER:
+            row = [scheme_name]
+            for cls in CLASS_ORDER:
+                times = results[(n_background, cls, scheme_name)]
+                m = statistics.fmean(times)
+                sd = statistics.stdev(times) if len(times) > 1 else 0.0
+                row.append(f"{m:.0f} ({sd:.0f})")
+            rows.append(row)
+        sections.append(
+            format_table(
+                ["level", "HIGH", "MODERATE", "LOW"],
+                rows,
+                title=f"-- {n_background} concurrent TCP connection(s), seconds mean (SD)",
+            )
+        )
+    rendered = "\n\n".join(sections)
+
+    checks: List[str] = []
+    failures: List[str] = []
+    statics = [s for s in SCHEME_ORDER if s != "DYNAMIC"]
+
+    light_wins_high = all(
+        min(statics, key=lambda s: mean((c, Compressibility.HIGH, s))) == "LIGHT"
+        for c in CONCURRENCY_LEVELS
+    )
+    checks.append(check(light_wins_high, "LIGHT is the best static level on HIGH at every concurrency", failures))
+
+    no_wins_unloaded = all(
+        min(statics, key=lambda s: mean((0, cls, s))) == "NO"
+        for cls in (Compressibility.MODERATE, Compressibility.LOW)
+    )
+    checks.append(check(no_wins_unloaded, "NO wins MODERATE and LOW with no background traffic", failures))
+
+    crossover = mean((3, Compressibility.MODERATE, "MEDIUM")) < mean(
+        (3, Compressibility.MODERATE, "LIGHT")
+    )
+    checks.append(
+        check(crossover, "MEDIUM overtakes LIGHT on MODERATE data at 3 connections", failures)
+    )
+
+    worst_dyn = 0.0
+    for n_background in CONCURRENCY_LEVELS:
+        for cls in CLASS_ORDER:
+            best = min(mean((n_background, cls, s)) for s in statics)
+            dyn = mean((n_background, cls, "DYNAMIC"))
+            worst_dyn = max(worst_dyn, dyn / best)
+    # The paper's 22 % bound holds for 50 GB runs where the initial
+    # probing amortizes; scaled-down runs carry the same fixed probing
+    # cost over less data, so the tolerance widens below scale 0.1.
+    tolerance = 1.30 if scale >= 0.1 else 1.50
+    checks.append(
+        check(
+            worst_dyn <= tolerance,
+            f"DYNAMIC within ~{100 * (tolerance - 1):.0f}% of the best static "
+            f"level everywhere (worst {100 * (worst_dyn - 1):.0f}%; paper: at "
+            f"most 22% at full scale)",
+            failures,
+        )
+    )
+
+    speedup = mean((3, Compressibility.HIGH, "NO")) / mean(
+        (3, Compressibility.HIGH, "DYNAMIC")
+    )
+    checks.append(
+        check(
+            speedup >= 3.0,
+            f"DYNAMIC improves throughput up to ~4x over NO on contended HIGH "
+            f"(got {speedup:.1f}x)",
+            failures,
+        )
+    )
+
+    heavy_always_worst_on_low = all(
+        max(statics, key=lambda s: mean((c, Compressibility.LOW, s))) == "HEAVY"
+        for c in CONCURRENCY_LEVELS
+    )
+    checks.append(
+        check(heavy_always_worst_on_low, "HEAVY is always the worst choice on LOW", failures)
+    )
+
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Average completion times of the sample job",
+        rendered=rendered,
+        checks=checks,
+        failures=failures,
+        data={
+            f"{c}/{cls.value}/{s}": results[(c, cls, s)]
+            for (c, cls, s) in results.keys()
+            for _ in [0]
+        },
+    )

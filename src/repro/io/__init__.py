@@ -1,0 +1,20 @@
+"""Real-mode I/O: throttles, pipes, localhost TCP transfer, file tools."""
+
+from .pipes import BoundedPipe, PipeClosedError, ThrottledPipe
+from .sockets import ReceiverThread, SocketTransferResult, run_socket_transfer
+from .streams import FileCompressionResult, compress_file, decompress_file
+from .throttle import ThrottledWriter, TokenBucket
+
+__all__ = [
+    "TokenBucket",
+    "ThrottledWriter",
+    "BoundedPipe",
+    "ThrottledPipe",
+    "PipeClosedError",
+    "run_socket_transfer",
+    "SocketTransferResult",
+    "ReceiverThread",
+    "compress_file",
+    "decompress_file",
+    "FileCompressionResult",
+]

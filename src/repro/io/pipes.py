@@ -1,0 +1,111 @@
+"""In-process bounded byte pipe.
+
+A thread-safe producer/consumer byte buffer with a capacity bound, so a
+fast compressor experiences genuine backpressure from a slow consumer —
+the mechanism through which "the application data rate also includes
+the decompression time at the receiver" (Section III-A) on the real
+path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+class PipeClosedError(Exception):
+    """Write attempted after close."""
+
+
+class BoundedPipe:
+    """Blocking byte FIFO with bounded buffering.
+
+    ``write`` blocks while the buffer is full; ``read`` blocks while it
+    is empty and the writer has not closed.  After ``close_write``,
+    reads drain the remainder and then return ``b""``.
+    """
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer = bytearray()
+        self._lock = threading.Lock()
+        self._readable = threading.Condition(self._lock)
+        self._writable = threading.Condition(self._lock)
+        self._write_closed = False
+        self.total_bytes = 0
+
+    def write(self, data: bytes) -> int:
+        if not data:
+            return 0
+        written = 0
+        view = memoryview(data)
+        while written < len(data):
+            with self._writable:
+                if self._write_closed:
+                    raise PipeClosedError("pipe closed for writing")
+                while len(self._buffer) >= self.capacity:
+                    self._writable.wait()
+                    if self._write_closed:
+                        raise PipeClosedError("pipe closed for writing")
+                room = self.capacity - len(self._buffer)
+                chunk = view[written : written + room]
+                self._buffer.extend(chunk)
+                written += len(chunk)
+                self.total_bytes += len(chunk)
+                self._readable.notify_all()
+        return written
+
+    def read(self, n: int = -1) -> bytes:
+        """Read up to ``n`` bytes (all buffered if ``n`` < 0).
+
+        Returns ``b""`` only at end-of-stream (writer closed and buffer
+        drained).
+        """
+        with self._readable:
+            while not self._buffer and not self._write_closed:
+                self._readable.wait()
+            if not self._buffer:
+                return b""
+            if n is None or n < 0:
+                n = len(self._buffer)
+            chunk = bytes(self._buffer[:n])
+            del self._buffer[:n]
+            self._writable.notify_all()
+            return chunk
+
+    def close_write(self) -> None:
+        with self._lock:
+            self._write_closed = True
+            self._readable.notify_all()
+            self._writable.notify_all()
+
+    # Aliases so the pipe can stand in for a file object on both ends.
+    def flush(self) -> None:  # noqa: D102 - file-object protocol
+        pass
+
+    def close(self) -> None:  # noqa: D102 - file-object protocol
+        self.close_write()
+
+    @property
+    def buffered(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+
+class ThrottledPipe(BoundedPipe):
+    """A bounded pipe whose *reads* are paced by a token bucket.
+
+    Pacing the consumer side emulates a bandwidth-limited link: the
+    producer can burst into the buffer, then blocks on backpressure at
+    the configured rate — just like a socket behind a slow NIC.
+    """
+
+    def __init__(self, bucket, capacity: int = 1 << 20) -> None:
+        super().__init__(capacity)
+        self._bucket = bucket
+
+    def read(self, n: int = -1) -> bytes:
+        chunk = super().read(n)
+        if chunk:
+            self._bucket.consume(len(chunk))
+        return chunk

@@ -1,0 +1,136 @@
+"""Job graphs: the DAG programming model of Nephele.
+
+"Nephele executes data flow programs which are expressed as directed
+acyclic graphs (DAGs) ... each vertex of the DAG represents a task of
+the overall processing job.  Tasks can exchange data through
+communication channels which are modeled as the edges of the job DAG."
+(Section III-B)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .channels import ChannelSpec, ChannelType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tasks import Task
+
+
+class JobGraphError(Exception):
+    """Raised on malformed job graphs."""
+
+
+@dataclass
+class Vertex:
+    """One task of the job."""
+
+    name: str
+    task: "Task"
+    inputs: List["Edge"] = field(default_factory=list)
+    outputs: List["Edge"] = field(default_factory=list)
+
+
+@dataclass
+class Edge:
+    """One communication channel between two tasks."""
+
+    source: Vertex
+    target: Vertex
+    spec: ChannelSpec
+
+    @property
+    def name(self) -> str:
+        return f"{self.source.name}->{self.target.name}"
+
+
+class JobGraph:
+    """A DAG of tasks connected by typed channels."""
+
+    def __init__(self, name: str = "job") -> None:
+        self.name = name
+        self._vertices: Dict[str, Vertex] = {}
+        self._edges: List[Edge] = []
+
+    # -- construction --------------------------------------------------
+
+    def add_vertex(self, name: str, task: "Task") -> Vertex:
+        if name in self._vertices:
+            raise JobGraphError(f"duplicate vertex name {name!r}")
+        vertex = Vertex(name=name, task=task)
+        self._vertices[name] = vertex
+        return vertex
+
+    def connect(
+        self,
+        source: str | Vertex,
+        target: str | Vertex,
+        channel_type: ChannelType = ChannelType.IN_MEMORY,
+        spec: Optional[ChannelSpec] = None,
+    ) -> Edge:
+        src = self._resolve(source)
+        dst = self._resolve(target)
+        if src is dst:
+            raise JobGraphError(f"self-loop on vertex {src.name!r}")
+        edge = Edge(source=src, target=dst, spec=spec or ChannelSpec(channel_type))
+        if spec is not None and spec.channel_type != channel_type:
+            raise JobGraphError(
+                "channel_type argument conflicts with spec.channel_type"
+            )
+        src.outputs.append(edge)
+        dst.inputs.append(edge)
+        self._edges.append(edge)
+        return edge
+
+    def _resolve(self, ref: str | Vertex) -> Vertex:
+        if isinstance(ref, Vertex):
+            return ref
+        try:
+            return self._vertices[ref]
+        except KeyError:
+            raise JobGraphError(f"unknown vertex {ref!r}") from None
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        return list(self._vertices.values())
+
+    @property
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def vertex(self, name: str) -> Vertex:
+        return self._resolve(name)
+
+    # -- validation -----------------------------------------------------
+
+    def topological_order(self) -> List[Vertex]:
+        """Kahn's algorithm; raises on cycles."""
+        indegree = {name: len(v.inputs) for name, v in self._vertices.items()}
+        ready = [v for v in self._vertices.values() if indegree[v.name] == 0]
+        order: List[Vertex] = []
+        while ready:
+            vertex = ready.pop(0)
+            order.append(vertex)
+            for edge in vertex.outputs:
+                indegree[edge.target.name] -= 1
+                if indegree[edge.target.name] == 0:
+                    ready.append(edge.target)
+        if len(order) != len(self._vertices):
+            cyclic = sorted(n for n, d in indegree.items() if d > 0)
+            raise JobGraphError(f"job graph has a cycle involving {cyclic}")
+        return order
+
+    def validate(self) -> None:
+        """Structural checks before execution."""
+        if not self._vertices:
+            raise JobGraphError("job graph is empty")
+        self.topological_order()
+        for vertex in self._vertices.values():
+            if not vertex.inputs and not vertex.outputs:
+                if len(self._vertices) > 1:
+                    raise JobGraphError(
+                        f"vertex {vertex.name!r} is disconnected from the job"
+                    )

@@ -1,0 +1,23 @@
+"""Decision-scheme zoo: the paper's scheme, static levels, related work."""
+
+from .base import CompressionScheme, EpochObservation
+from .memory import MemoryRateScheme
+from .nctcsys import ThresholdScheme
+from .queue_based import QueueBasedScheme
+from .rate_based import RateBasedScheme
+from .resource_based import ResourceBasedScheme, TrainedLevel
+from .smoothed import SmoothedRateScheme
+from .static import StaticScheme
+
+__all__ = [
+    "CompressionScheme",
+    "EpochObservation",
+    "StaticScheme",
+    "RateBasedScheme",
+    "SmoothedRateScheme",
+    "MemoryRateScheme",
+    "ResourceBasedScheme",
+    "TrainedLevel",
+    "QueueBasedScheme",
+    "ThresholdScheme",
+]

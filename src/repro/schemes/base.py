@@ -1,0 +1,73 @@
+"""Common interface for compression decision schemes.
+
+The paper compares its rate-based model against static levels
+(Table II) and discusses several related-work decision models
+(Section V).  Everything that decides "which level next epoch" —
+the paper's Algorithm 1, static baselines, and re-implementations of
+the related-work models — implements :class:`CompressionScheme`, so the
+simulator's transfer process can drive any of them interchangeably.
+
+Each epoch the scheme receives an :class:`EpochObservation`.  Note the
+epistemics encoded in its fields: ``app_rate`` is directly measured by
+the application and therefore trustworthy; the ``displayed_*`` fields
+are whatever the (virtualized) operating system shows, which Section II
+demonstrates can be wrong by an order of magnitude.  Schemes that rely
+on displayed metrics inherit that error — reproducing it is the point
+of the `ablate-metrics` experiment.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """Everything a decision scheme may look at, once per epoch."""
+
+    #: Simulation/wall time at the end of the epoch (seconds).
+    now: float
+    #: Length of the epoch (the paper's ``t``).
+    epoch_seconds: float
+    #: Application data rate achieved during the epoch (bytes/s) —
+    #: the *only* input of the paper's scheme.
+    app_rate: float
+    #: CPU utilization (percent, 0-100+) as displayed inside the VM.
+    displayed_cpu_util: float
+    #: Available I/O bandwidth (bytes/s) as estimated from inside the VM.
+    displayed_bandwidth: float
+    #: Growth rate of the compression→send queue (bytes/s; positive
+    #: means compression outpaces the network).  For queue-based schemes.
+    queue_slope: float = 0.0
+    #: The compressibility ratio observed on the last blocks, if the
+    #: scheme samples it (None when not measured).
+    observed_ratio: Optional[float] = None
+
+
+class CompressionScheme(abc.ABC):
+    """A policy choosing the compression level for the next epoch."""
+
+    #: Human-readable name used in result tables ("DYNAMIC", "NO", ...).
+    name: str
+
+    def __init__(self, n_levels: int) -> None:
+        if n_levels < 1:
+            raise ValueError("need at least one level")
+        self.n_levels = n_levels
+
+    @property
+    @abc.abstractmethod
+    def current_level(self) -> int:
+        """Level to apply right now."""
+
+    @abc.abstractmethod
+    def on_epoch(self, obs: EpochObservation) -> int:
+        """Consume one epoch's observation; return the next level."""
+
+    def _clamp(self, level: int) -> int:
+        return min(max(level, 0), self.n_levels - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} level={self.current_level}>"

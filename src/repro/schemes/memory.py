@@ -1,0 +1,150 @@
+"""Extension: rate-based scheme with per-level rate memory.
+
+Algorithm 1 compares the current epoch's rate against the *previous*
+epoch's — across a level change that means comparing two different
+levels under two different (possibly fluctuating) link states.  Under
+EC2-grade fluctuation this misattributes link dips to level changes:
+a transient dip at LIGHT makes a probe to MEDIUM look like an
+improvement, MEDIUM's backoff grows, and the scheme ratchets into
+over-compression (quantified in ``ablate-metrics``/``ext-memory``).
+
+``MemoryRateScheme`` keeps an exponentially weighted estimate of the
+application data rate *per level*, refreshed whenever the level is
+visited, and moves only when a *fresh* neighbouring estimate beats the
+current level's estimate by the margin.  Probing of stale neighbours
+reuses the paper's exponential backoff.  The design goals are
+preserved: no training phase, no displayed metrics — only measured
+application data rates, now remembered per level instead of compared
+pairwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..core.backoff import BackoffTable
+from .base import CompressionScheme, EpochObservation
+
+
+class MemoryRateScheme(CompressionScheme):
+    """Move to the neighbouring level with the best remembered rate."""
+
+    name = "DYNAMIC-MEM"
+
+    def __init__(
+        self,
+        n_levels: int,
+        margin: float = 0.1,
+        ema_weight: float = 0.4,
+        estimate_ttl_epochs: int = 12,
+        initial_level: int = 0,
+    ) -> None:
+        """``margin``: relative advantage a neighbour needs to win.
+
+        ``estimate_ttl_epochs``: estimates older than this (in epochs)
+        are treated as unknown and must be re-probed before trusting.
+        """
+        super().__init__(n_levels)
+        if margin < 0:
+            raise ValueError("margin must be >= 0")
+        if not 0 < ema_weight <= 1:
+            raise ValueError("ema_weight must be in (0, 1]")
+        if estimate_ttl_epochs < 1:
+            raise ValueError("estimate_ttl_epochs must be >= 1")
+        self.margin = margin
+        self.ema_weight = ema_weight
+        self.ttl = estimate_ttl_epochs
+        self._level = initial_level
+        self._epoch = 0
+        self._estimate: Dict[int, float] = {}
+        self._last_seen: Dict[int, int] = {}
+        self._bck = BackoffTable(n_levels)
+        self._stable_epochs = 0
+        self._probe_up = True  # alternate probe direction, like `inc`
+
+    @property
+    def current_level(self) -> int:
+        return self._level
+
+    # -- estimate bookkeeping -----------------------------------------
+
+    #: Maximum relative movement of an estimate per epoch.  A single
+    #: outlier epoch (link outage) can then damage a level's estimate
+    #: by at most 30 % instead of poisoning it outright; genuine
+    #: changes still track within a few epochs.
+    MAX_STEP = 0.3
+
+    def _update_estimate(self, level: int, rate: float) -> None:
+        old = self._estimate.get(level)
+        if old is None or self._epoch - self._last_seen.get(level, -10**9) > self.ttl:
+            self._estimate[level] = rate
+        else:
+            w = self.ema_weight
+            candidate = w * rate + (1 - w) * old
+            lo = old * (1.0 - self.MAX_STEP)
+            hi = old * (1.0 + self.MAX_STEP)
+            self._estimate[level] = min(max(candidate, lo), hi)
+        self._last_seen[level] = self._epoch
+
+    def _fresh_estimate(self, level: int) -> Optional[float]:
+        if level not in self._estimate:
+            return None
+        if self._epoch - self._last_seen[level] > self.ttl:
+            return None
+        return self._estimate[level]
+
+    def _neighbours(self) -> List[int]:
+        return [
+            lvl for lvl in (self._level - 1, self._level + 1) if 0 <= lvl < self.n_levels
+        ]
+
+    # -- decision -------------------------------------------------------
+
+    def on_epoch(self, obs: EpochObservation) -> int:
+        self._epoch += 1
+        self._update_estimate(self._level, obs.app_rate)
+        here = self._estimate[self._level]
+
+        # 1. A fresh neighbour that clearly wins takes over immediately.
+        best_level = self._level
+        best_value = here * (1.0 + self.margin)
+        for lvl in self._neighbours():
+            value = self._fresh_estimate(lvl)
+            if value is not None and value > best_value:
+                best_level = lvl
+                best_value = value
+        if best_level != self._level:
+            self._stable_epochs = 0
+            self._level = best_level
+            return self._level
+
+        # 2. A fresh neighbour that clearly *loses* grows this level's
+        #    backoff (it has just been checked; probe it less often).
+        losing_neighbours = [
+            lvl
+            for lvl in self._neighbours()
+            if (v := self._fresh_estimate(lvl)) is not None
+            and v < here * (1.0 - self.margin)
+        ]
+
+        # 3. Otherwise stay, and occasionally probe a stale/unknown
+        #    neighbour — the paper's optimistic switch, backoff-paced.
+        self._stable_epochs += 1
+        if self._stable_epochs >= self._bck.threshold(self._level):
+            stale = [
+                lvl for lvl in self._neighbours() if self._fresh_estimate(lvl) is None
+            ]
+            if stale:
+                # Alternate direction among the stale candidates.
+                stale.sort(reverse=self._probe_up)
+                self._probe_up = not self._probe_up
+                self._stable_epochs = 0
+                self._level = stale[0]
+                return self._level
+            # Nothing stale to learn: every neighbour was recently
+            # measured and lost — reward this level's backoff.
+            if losing_neighbours:
+                self._bck.reward(self._level)
+            self._stable_epochs = 0
+        return self._level

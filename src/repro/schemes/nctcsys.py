@@ -1,0 +1,54 @@
+"""Threshold decision model (Motgi & Mukherjee's NCTCSys style).
+
+"The compression algorithm is chosen by evaluating a set of parameters
+(e.g. network bandwidth, server load, number of clients connected),
+which are gained from sensor modules." (Section V)
+
+Reduced to its decision core: fixed bandwidth bands, tuned offline, map
+the *displayed* available bandwidth to a level — fast links get light
+compression, slow links get heavy compression.  Like the resource-based
+scheme it inherits whatever error the displayed bandwidth carries, and
+unlike the paper's scheme it never checks whether its choice helped.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import CompressionScheme, EpochObservation
+
+
+class ThresholdScheme(CompressionScheme):
+    """Map displayed bandwidth onto levels via fixed cut-offs."""
+
+    name = "THRESHOLD"
+
+    def __init__(self, cutoffs: Sequence[float], initial_level: int = 0) -> None:
+        """``cutoffs``: descending bandwidth boundaries (bytes/s).
+
+        ``len(cutoffs) + 1`` levels: bandwidth above ``cutoffs[0]`` maps
+        to level 0 (no compression), below ``cutoffs[-1]`` to the
+        heaviest level.
+        """
+        if not cutoffs:
+            raise ValueError("need at least one cutoff")
+        if list(cutoffs) != sorted(cutoffs, reverse=True):
+            raise ValueError("cutoffs must be strictly descending")
+        if len(set(cutoffs)) != len(cutoffs):
+            raise ValueError("cutoffs must be strictly descending")
+        super().__init__(len(cutoffs) + 1)
+        self.cutoffs = list(cutoffs)
+        self._level = self._clamp(initial_level)
+
+    @property
+    def current_level(self) -> int:
+        return self._level
+
+    def on_epoch(self, obs: EpochObservation) -> int:
+        level = len(self.cutoffs)  # slowest band -> heaviest level
+        for i, cutoff in enumerate(self.cutoffs):
+            if obs.displayed_bandwidth >= cutoff:
+                level = i
+                break
+        self._level = level
+        return self._level

@@ -1,0 +1,49 @@
+"""FIFO-queue decision model (Jeannot, Knutsson & Björkman / AdOC style).
+
+"Its main idea is to split the process of sending a data package into a
+compression thread, a sending thread, and a FIFO queue in the middle.
+The decision to raise or lower the compression level depends on the
+size of the FIFO queue.  If the size is decreasing (resp. increasing)
+the compression level is lowered (resp. raised)." (Section V)
+
+The paper also records the model's known blind spots, which this
+implementation faithfully keeps: it assumes a higher level always means
+a better ratio (false on incompressible data) and ignores that higher
+levels cost more CPU.
+"""
+
+from __future__ import annotations
+
+from .base import CompressionScheme, EpochObservation
+
+
+class QueueBasedScheme(CompressionScheme):
+    """Raise level when the send queue grows, lower when it drains."""
+
+    name = "QUEUE"
+
+    def __init__(
+        self,
+        n_levels: int,
+        threshold: float = 1e6,
+        initial_level: int = 0,
+    ) -> None:
+        """``threshold``: queue slope (bytes/s) treated as 'stable'."""
+        super().__init__(n_levels)
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold = threshold
+        self._level = self._clamp(initial_level)
+
+    @property
+    def current_level(self) -> int:
+        return self._level
+
+    def on_epoch(self, obs: EpochObservation) -> int:
+        if obs.queue_slope > self.threshold:
+            # Compression outpaces the network: compress harder.
+            self._level = self._clamp(self._level + 1)
+        elif obs.queue_slope < -self.threshold:
+            # Network drains faster than we compress: back off.
+            self._level = self._clamp(self._level - 1)
+        return self._level

@@ -1,0 +1,34 @@
+"""The paper's scheme (DYNAMIC) as a :class:`CompressionScheme`.
+
+A thin adapter over :class:`repro.core.decision.DecisionModel` — the
+same object that powers the real-I/O :class:`~repro.core.stream.AdaptiveBlockWriter` —
+so the simulator evaluates the identical decision logic.
+"""
+
+from __future__ import annotations
+
+from ..core.decision import DEFAULT_ALPHA, DecisionModel
+from .base import CompressionScheme, EpochObservation
+
+
+class RateBasedScheme(CompressionScheme):
+    """Algorithm 1: decisions from the application data rate only."""
+
+    name = "DYNAMIC"
+
+    def __init__(
+        self,
+        n_levels: int,
+        alpha: float = DEFAULT_ALPHA,
+        initial_level: int = 0,
+    ) -> None:
+        super().__init__(n_levels)
+        self.model = DecisionModel(n_levels, alpha=alpha, initial_level=initial_level)
+
+    @property
+    def current_level(self) -> int:
+        return self.model.current_level
+
+    def on_epoch(self, obs: EpochObservation) -> int:
+        # Deliberately blind to every displayed metric.
+        return self.model.observe(obs.app_rate)

@@ -1,0 +1,97 @@
+"""Record and replay observation traces through decision schemes.
+
+Answers the operational question "what would scheme X have decided on
+this workload?" without rerunning the workload: epoch observations from
+a simulated or real transfer are serialized to JSON-lines, and any
+:class:`~repro.schemes.base.CompressionScheme` can be replayed over
+them offline.
+
+Replay is *open-loop*: the recorded rates were achieved under the
+original scheme's levels, so a replayed scheme sees the environment's
+signals but does not get to change them.  That makes replay exact for
+analyzing what a scheme *would have seen and chosen* at each recorded
+step, and a quick first-order screen before a full (closed-loop)
+simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import IO, Iterable, Iterator, List, Sequence
+
+from ..sim.transfer import TransferResult
+from .base import CompressionScheme, EpochObservation
+
+#: Format marker written as the first line of every trace file.
+HEADER = {"format": "repro-observation-trace", "version": 1}
+
+
+class TraceFormatError(Exception):
+    """Raised on malformed trace files."""
+
+
+def observations_from_result(result: TransferResult) -> List[EpochObservation]:
+    """Extract the observation sequence a scheme saw during a transfer."""
+    return [
+        EpochObservation(
+            now=epoch.end,
+            epoch_seconds=epoch.end - epoch.start,
+            app_rate=epoch.app_rate,
+            displayed_cpu_util=epoch.vm_cpu_util,
+            displayed_bandwidth=epoch.displayed_bandwidth,
+        )
+        for epoch in result.epochs
+    ]
+
+
+def dump_trace(observations: Iterable[EpochObservation], fp: IO[str]) -> int:
+    """Write observations as JSON-lines; returns the number written."""
+    fp.write(json.dumps(HEADER) + "\n")
+    count = 0
+    for obs in observations:
+        fp.write(json.dumps(asdict(obs)) + "\n")
+        count += 1
+    return count
+
+
+def load_trace(fp: IO[str]) -> Iterator[EpochObservation]:
+    """Stream observations back from a JSON-lines trace file."""
+    header_line = fp.readline()
+    if not header_line:
+        raise TraceFormatError("empty trace file")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"bad header: {exc}") from exc
+    if header.get("format") != HEADER["format"]:
+        raise TraceFormatError(f"not an observation trace: {header!r}")
+    if header.get("version") != HEADER["version"]:
+        raise TraceFormatError(f"unsupported trace version {header.get('version')}")
+    for lineno, line in enumerate(fp, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            yield EpochObservation(**payload)
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise TraceFormatError(f"bad record on line {lineno}: {exc}") from exc
+
+
+def replay(
+    observations: Sequence[EpochObservation] | Iterable[EpochObservation],
+    scheme: CompressionScheme,
+) -> List[int]:
+    """Feed a trace through ``scheme``; return its level per epoch."""
+    return [scheme.on_epoch(obs) for obs in observations]
+
+
+def replay_many(
+    observations: Sequence[EpochObservation],
+    schemes: Sequence[CompressionScheme],
+) -> dict[str, List[int]]:
+    """Replay the same trace through several schemes (fresh decisions
+    each; pass newly constructed scheme instances)."""
+    observations = list(observations)
+    return {scheme.name: replay(observations, scheme) for scheme in schemes}

@@ -1,0 +1,113 @@
+"""Resource-metric decision model (Krintz & Sucu style).
+
+"Their decision model includes CPU utilization and network bandwidth as
+well as data obtained from an offline training phase." (Section V)
+
+The scheme carries a *training table* — per-level compression speed and
+ratio measured during an offline calibration run on an (assumed)
+unloaded machine — and each epoch predicts, for every level, the
+throughput ``min(predicted compression rate on the idle CPU share,
+displayed bandwidth / trained ratio)``, picking the argmax.
+
+This is exactly the class of scheme Section II argues against: both of
+its inputs (``displayed_cpu_util``, ``displayed_bandwidth``) come from
+the virtualized OS.  When a paravirtualized VM displays ~7 % CPU while
+the host burns a full core, the predicted compression rate is wildly
+optimistic; when the displayed bandwidth rides a caching or fluctuation
+artifact, the bandwidth term is garbage.  The `ablate-metrics`
+experiment feeds this scheme skewed vs honest metrics to quantify the
+damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .base import CompressionScheme, EpochObservation
+
+
+@dataclass(frozen=True)
+class TrainedLevel:
+    """Offline-training entry for one level."""
+
+    #: Compression speed measured during training (bytes/s at 100 % CPU).
+    comp_speed: float
+    #: Compression ratio measured during training.
+    ratio: float
+
+
+class ResourceBasedScheme(CompressionScheme):
+    """Pick the level with the best *predicted* throughput each epoch."""
+
+    name = "RESOURCE"
+
+    def __init__(
+        self,
+        training: Sequence[TrainedLevel],
+        initial_level: int = 0,
+        smoothing: float = 0.5,
+    ) -> None:
+        super().__init__(len(training))
+        if not 0 <= initial_level < len(training):
+            raise ValueError("initial level out of range")
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.training = list(training)
+        self._level = initial_level
+        self.smoothing = smoothing
+        self._bw_estimate: float | None = None
+        self._last_app_rate = 0.0
+
+    @property
+    def current_level(self) -> int:
+        return self._level
+
+    def predicted_rate(self, level: int, cpu_available: float, bandwidth: float) -> float:
+        """The model's throughput prediction for ``level``."""
+        entry = self.training[level]
+        if entry.comp_speed == float("inf"):
+            comp = float("inf")
+        else:
+            comp = entry.comp_speed * max(cpu_available, 0.0)
+        net = bandwidth / entry.ratio if entry.ratio > 0 else float("inf")
+        return min(comp, net)
+
+    def _cpu_available(self, obs: EpochObservation) -> float:
+        """CPU fraction the scheme believes it can compress with.
+
+        The displayed utilization includes the scheme's *own*
+        compression work; like Krintz & Sucu's accounting, subtract the
+        expected own share (from the training table) before treating
+        the remainder as external load.
+        """
+        entry = self.training[self._level]
+        own = (
+            0.0
+            if entry.comp_speed == float("inf") or entry.comp_speed <= 0
+            else min(1.0, self._last_app_rate / entry.comp_speed)
+        )
+        external = max(0.0, obs.displayed_cpu_util / 100.0 - own)
+        return max(0.0, 1.0 - external)
+
+    def on_epoch(self, obs: EpochObservation) -> int:
+        # Exponentially smoothed bandwidth estimate, as NWS-style
+        # forecasters do.
+        if self._bw_estimate is None:
+            self._bw_estimate = obs.displayed_bandwidth
+        else:
+            self._bw_estimate = (
+                self.smoothing * obs.displayed_bandwidth
+                + (1 - self.smoothing) * self._bw_estimate
+            )
+        available = self._cpu_available(obs)
+        self._last_app_rate = obs.app_rate
+        best_level = 0
+        best_rate = -1.0
+        for level in range(self.n_levels):
+            rate = self.predicted_rate(level, available, self._bw_estimate)
+            if rate > best_rate:
+                best_rate = rate
+                best_level = level
+        self._level = best_level
+        return self._level

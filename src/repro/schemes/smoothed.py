@@ -1,0 +1,64 @@
+"""Extension (negative result): rate-based scheme with an EWMA pre-filter.
+
+The paper's algorithm compares raw consecutive epoch rates, which works
+on the local cloud's mild jitter but (as the `ablate-metrics`
+experiment quantifies) breaks under EC2-grade on/off fluctuation.
+
+``SmoothedRateScheme`` was the obvious first fix: feed Algorithm 1 an
+exponentially weighted moving average of the rate instead of the raw
+epoch value.  **Measurement shows it does not help** (see the
+`ext-memory` experiment): the filter must reset at level changes (the
+old average describes a different operating point), so exactly the
+comparisons that misfire under fluctuation — the first epochs after a
+level change — still see raw noise.  The structural fix is per-level
+memory (:class:`repro.schemes.memory.MemoryRateScheme`); this class is
+kept as the documented negative-result baseline.
+"""
+
+from __future__ import annotations
+
+from ..core.decision import DEFAULT_ALPHA, DecisionModel
+from .base import CompressionScheme, EpochObservation
+
+
+class SmoothedRateScheme(CompressionScheme):
+    """Algorithm 1 over an EWMA of the application data rate."""
+
+    name = "DYNAMIC-EWMA"
+
+    def __init__(
+        self,
+        n_levels: int,
+        alpha: float = DEFAULT_ALPHA,
+        smoothing: float = 0.35,
+        initial_level: int = 0,
+    ) -> None:
+        """``smoothing``: EWMA weight of the newest epoch (1.0 = raw)."""
+        super().__init__(n_levels)
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.model = DecisionModel(n_levels, alpha=alpha, initial_level=initial_level)
+        self.smoothing = smoothing
+        self._ewma: float | None = None
+        self._last_measured_level: int | None = None
+
+    @property
+    def current_level(self) -> int:
+        return self.model.current_level
+
+    def on_epoch(self, obs: EpochObservation) -> int:
+        # The rate in ``obs`` was achieved at the level chosen at the
+        # end of the previous epoch — i.e. the model's current level on
+        # entry.  Reset the filter whenever that measurement level
+        # differs from the previous measurement's: the old average
+        # describes a different operating point, and smearing it in
+        # would hide exactly the change Algorithm 1 must react to.
+        measured_level = self.model.current_level
+        if self._ewma is None or measured_level != self._last_measured_level:
+            self._ewma = obs.app_rate
+        else:
+            self._ewma = (
+                self.smoothing * obs.app_rate + (1 - self.smoothing) * self._ewma
+            )
+        self._last_measured_level = measured_level
+        return self.model.observe(self._ewma)

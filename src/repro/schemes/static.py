@@ -1,0 +1,29 @@
+"""Static compression levels — Table II's NO/LIGHT/MEDIUM/HEAVY rows."""
+
+from __future__ import annotations
+
+from .base import CompressionScheme, EpochObservation
+
+
+class StaticScheme(CompressionScheme):
+    """Always the same level, chosen before the job starts.
+
+    "For comparison, the table also includes the average completion
+    times when the compression level was chosen statically before the
+    execution and was not determined by our adaptive compression scheme
+    at runtime." (Section IV-A)
+    """
+
+    def __init__(self, n_levels: int, level: int, name: str | None = None) -> None:
+        super().__init__(n_levels)
+        if not 0 <= level < n_levels:
+            raise ValueError(f"level {level} out of range 0..{n_levels - 1}")
+        self._level = level
+        self.name = name if name is not None else f"STATIC-{level}"
+
+    @property
+    def current_level(self) -> int:
+        return self._level
+
+    def on_epoch(self, obs: EpochObservation) -> int:
+        return self._level

@@ -1,0 +1,144 @@
+"""CPU-time accounting with separate VM-view and host-view ledgers.
+
+The core instrument of Section II-A: the same I/O activity charges CPU
+time to *two* ledgers — what the virtual machine's ``/proc/stat`` would
+display, and what the host system actually spends.  The gap between the
+two (up to 15× in the paper) is a property of the virtualization
+profile, not of the workload.
+
+Time is split into the categories the paper plots: user (USR), kernel
+(SYS), hardware interrupts (HIRQ), software interrupts (SIRQ), and —
+for XEN — STEAL, "the amount of CPU time that the hypervisor has
+allocated to tasks other than the observed virtual machine".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Plot categories, in the paper's legend order.
+CATEGORIES = ("USR", "SYS", "HIRQ", "SIRQ", "STEAL")
+
+
+@dataclass(frozen=True)
+class CostVector:
+    """CPU seconds charged per byte of I/O, split by category."""
+
+    usr: float = 0.0
+    sys: float = 0.0
+    hirq: float = 0.0
+    sirq: float = 0.0
+    steal: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.usr + self.sys + self.hirq + self.sirq + self.steal
+
+    def scaled(self, factor: float) -> "CostVector":
+        return CostVector(
+            usr=self.usr * factor,
+            sys=self.sys * factor,
+            hirq=self.hirq * factor,
+            sirq=self.sirq * factor,
+            steal=self.steal * factor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "USR": self.usr,
+            "SYS": self.sys,
+            "HIRQ": self.hirq,
+            "SIRQ": self.sirq,
+            "STEAL": self.steal,
+        }
+
+    @classmethod
+    def from_utilization(
+        cls, percent_by_category: Dict[str, float], rate_bytes_per_s: float
+    ) -> "CostVector":
+        """Costs that reproduce ``percent_by_category`` at ``rate``.
+
+        This is how profiles are calibrated: the paper reports
+        *utilizations at the achieved throughput*; dividing by the
+        throughput recovers a per-byte cost.
+        """
+        if rate_bytes_per_s <= 0:
+            raise ValueError("rate must be positive")
+        unknown = set(percent_by_category) - set(CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown categories: {sorted(unknown)}")
+        factor = 1.0 / (100.0 * rate_bytes_per_s)
+        return cls(
+            usr=percent_by_category.get("USR", 0.0) * factor,
+            sys=percent_by_category.get("SYS", 0.0) * factor,
+            hirq=percent_by_category.get("HIRQ", 0.0) * factor,
+            sirq=percent_by_category.get("SIRQ", 0.0) * factor,
+            steal=percent_by_category.get("STEAL", 0.0) * factor,
+        )
+
+
+@dataclass
+class CpuLedger:
+    """Accumulated CPU seconds per category."""
+
+    seconds: Dict[str, float] = field(
+        default_factory=lambda: {cat: 0.0 for cat in CATEGORIES}
+    )
+
+    def charge(self, cost: CostVector, nbytes: float) -> None:
+        d = cost.as_dict()
+        for cat in CATEGORIES:
+            self.seconds[cat] += d[cat] * nbytes
+
+    def charge_seconds(self, category: str, seconds: float) -> None:
+        if category not in self.seconds:
+            raise ValueError(f"unknown category {category!r}")
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        self.seconds[category] += seconds
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.seconds)
+
+
+class DualLedger:
+    """VM-displayed and host-observed ledgers for one virtual machine.
+
+    ``vm`` is what a monitoring loop inside the guest would read from
+    ``/proc/stat``; ``host`` is what ``xentop`` / the qemu process stats
+    attribute to the VM from outside.  The host ledger *includes* the
+    VM-visible part (the guest's cycles do run on the host) plus the
+    virtualization overhead invisible to the guest.
+    """
+
+    def __init__(self) -> None:
+        self.vm = CpuLedger()
+        self.host = CpuLedger()
+
+    def charge_io(
+        self, vm_cost: CostVector, host_extra_cost: CostVector, nbytes: float
+    ) -> None:
+        """Charge ``nbytes`` of I/O to both views."""
+        self.vm.charge(vm_cost, nbytes)
+        self.host.charge(vm_cost, nbytes)
+        self.host.charge(host_extra_cost, nbytes)
+
+    def charge_compute(self, seconds: float) -> None:
+        """Pure guest computation (e.g. compression): USR in both views."""
+        self.vm.charge_seconds("USR", seconds)
+        self.host.charge_seconds("USR", seconds)
+
+
+def utilization(
+    before: Dict[str, float], after: Dict[str, float], interval: float
+) -> Dict[str, float]:
+    """Percent utilization per category between two ledger snapshots."""
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    return {
+        cat: 100.0 * (after[cat] - before[cat]) / interval for cat in CATEGORIES
+    }

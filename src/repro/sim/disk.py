@@ -1,0 +1,151 @@
+"""Disk models, with and without a host write-back page cache.
+
+Figure 3's finding: on XEN "we witnessed significant caching effects.
+Due to these caching effects the data rate inside the virtual machine
+occasionally appeared to be exceedingly high.  In fact, the data was
+only buffered inside the host system's main memory.  Periodically, when
+the host system decided to actually flush the buffered data to disk,
+the data rate displayed inside the virtual machine dropped to a few
+MB/s."
+
+:class:`PlainDisk` is an honest bounded-rate device with small jitter.
+:class:`CachedDisk` reproduces the XEN artifact: guest writes are
+absorbed at memory speed until a dirty-page high watermark, then stall
+completely until the cache drains to the low watermark.  Because the
+paper's throughput metric samples *per 20 MB written*, the many fast
+samples during absorption dominate the distribution and the displayed
+mean is spuriously high — while most of the data still sits in host RAM
+when the experiment "finishes".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from .engine import Environment, Event
+from .hypervisor import DiskCacheParams
+
+
+class PlainDisk:
+    """Bounded-rate block device with per-chunk Gaussian rate jitter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rate: float,
+        rng: random.Random,
+        jitter_sigma: float = 0.05,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.env = env
+        self.rate = rate
+        self.rng = rng
+        self.jitter_sigma = jitter_sigma
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+
+    def _effective_rate(self) -> float:
+        factor = max(0.2, self.rng.gauss(1.0, self.jitter_sigma))
+        return self.rate * factor
+
+    def write(self, nbytes: float) -> Generator[Event, None, None]:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes:
+            yield self.env.timeout(nbytes / self._effective_rate())
+            self.bytes_written += nbytes
+
+    def read(self, nbytes: float) -> Generator[Event, None, None]:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes:
+            yield self.env.timeout(nbytes / self._effective_rate())
+            self.bytes_read += nbytes
+
+
+class CachedDisk:
+    """Disk behind a host write-back page cache (single guest writer).
+
+    The cache drains to the physical disk continuously at
+    ``drain_rate``; guest writes are absorbed at ``absorb_rate`` while
+    the dirty level is below ``high_watermark`` and stall (writer
+    blocked) once it is reached, until the level falls to
+    ``low_watermark``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        params: DiskCacheParams,
+        rng: random.Random,
+        jitter_sigma: float = 0.05,
+    ) -> None:
+        if params.low_watermark < 0 or params.low_watermark >= params.high_watermark:
+            raise ValueError("need 0 <= low_watermark < high_watermark")
+        if params.absorb_rate <= params.drain_rate:
+            raise ValueError("cache only matters when absorb_rate > drain_rate")
+        self.env = env
+        self.params = params
+        self.rng = rng
+        self.jitter_sigma = jitter_sigma
+        self.dirty = 0.0
+        self._last_sync = env.now
+        #: Bytes the guest believes it has written.
+        self.bytes_written = 0.0
+        #: Bytes actually persisted to the physical platters.
+        self.bytes_flushed = 0.0
+
+    def _sync(self) -> None:
+        """Apply continuous drain since the last state change."""
+        now = self.env.now
+        dt = now - self._last_sync
+        self._last_sync = now
+        if dt <= 0:
+            return
+        drained = min(self.dirty, self.params.drain_rate * dt)
+        self.dirty -= drained
+        self.bytes_flushed += drained
+
+    @property
+    def dirty_bytes(self) -> float:
+        self._sync()
+        return self.dirty
+
+    @property
+    def unflushed_bytes(self) -> float:
+        """Data the guest thinks is on disk but is still in host RAM."""
+        self._sync()
+        return self.bytes_written - self.bytes_flushed
+
+    def write(self, nbytes: float) -> Generator[Event, None, None]:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        p = self.params
+        remaining = float(nbytes)
+        while remaining > 0:
+            self._sync()
+            if self.dirty >= p.high_watermark:
+                # Flush storm: writer is blocked until the low watermark.
+                stall = (self.dirty - p.low_watermark) / p.drain_rate
+                yield self.env.timeout(stall)
+                self._sync()
+                continue
+            room = p.high_watermark - self.dirty
+            chunk = min(remaining, room)
+            # Absorb at memory speed (with a little jitter), while the
+            # drain keeps running in the background (handled by _sync).
+            absorb = p.absorb_rate * max(0.3, self.rng.gauss(1.0, self.jitter_sigma))
+            yield self.env.timeout(chunk / absorb)
+            self._sync()
+            self.dirty += chunk
+            self.bytes_written += chunk
+            remaining -= chunk
+
+    def fsync(self) -> Generator[Event, None, None]:
+        """Block until everything has hit the platters."""
+        self._sync()
+        if self.dirty > 0:
+            yield self.env.timeout(self.dirty / self.params.drain_rate)
+            self._sync()

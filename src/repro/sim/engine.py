@@ -1,0 +1,210 @@
+"""Discrete-event simulation core (a minimal SimPy-like engine).
+
+The virtualization experiments of Section II and the shared-I/O
+evaluation of Section IV run on this engine: simulated hosts, VMs,
+background flows, fluctuation processes and metric samplers are all
+*processes* — Python generators that ``yield`` events — scheduled on a
+single deterministic event heap.
+
+Design notes
+------------
+* Time is a float in **seconds** (simulated).
+* Determinism: ties on the heap break by insertion sequence number, and
+  all randomness comes from :mod:`repro.sim.rng` streams, so a run is a
+  pure function of its seed.
+* The engine is deliberately small (events, timeouts, processes); what
+  the paper's setting actually needs — fluid-shared links, CPU ledgers,
+  caches — lives in dedicated modules built on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional
+
+
+class SimulationError(Exception):
+    """Base class for engine errors."""
+
+
+class Event:
+    """A one-shot occurrence processes can wait for.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` triggers
+    it, after which waiting processes resume (in FIFO order) at the
+    current simulation time.
+    """
+
+    __slots__ = ("env", "callbacks", "_triggered", "_value", "_is_error")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[[Event], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._is_error = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._queue_callbacks(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = exc
+        self._is_error = True
+        self.env._queue_callbacks(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True  # scheduled, cannot be succeeded manually
+        self._value = value
+        env._schedule(env.now + delay, self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns."""
+
+    __slots__ = ("generator", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current time.
+        init = Event(env)
+        init._triggered = True
+        env._schedule(env.now, init)
+        init.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            if event._is_error:
+                target = self.generator.throw(event._value)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self._triggered:
+                self.fail(exc)
+                if not self.callbacks:
+                    # Nobody is waiting on this process: re-raise so the
+                    # failure is not silently swallowed.
+                    raise
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        target.callbacks.append(self._resume)
+        if target._triggered and not isinstance(target, Timeout):
+            # Already-triggered event (e.g. an immediately satisfied
+            # Store.get): make sure its callbacks run.  Double-scheduling
+            # is harmless — callbacks are drained exactly once per pop.
+            # Timeouts are excluded: they are already in the heap at
+            # their fire time and must be yielded right after creation.
+            self.env._schedule(self.env.now, target)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._queued: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, at: float, event: Event) -> None:
+        if at < self._now:
+            raise SimulationError(f"cannot schedule in the past ({at} < {self._now})")
+        heapq.heappush(self._heap, (at, next(self._seq), event))
+
+    def _queue_callbacks(self, event: Event) -> None:
+        """Schedule an already-triggered event's callbacks to run now."""
+        self._schedule(self._now, event)
+
+    # -- public API ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        return Process(self, generator, name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap drains or ``until`` is reached.
+
+        Returns the simulation time at which execution stopped.
+        """
+        while self._heap:
+            at, _, event = self._heap[0]
+            if until is not None and at > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = at
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_process(self, generator: Generator[Event, Any, Any], name: str = "") -> Any:
+        """Convenience: run a single process to completion, return its value."""
+        proc = self.process(generator, name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock or starvation)"
+            )
+        if proc._is_error:
+            raise proc._value
+        return proc.value

@@ -1,0 +1,209 @@
+"""Adaptive compression on the *file write* path (the paper's future work).
+
+"For file I/O we found the aggressive caching mechanisms of some
+virtualization technologies to be a major obstacle which we intend to
+address for future work." (Section VI)
+
+This module builds that experiment: a sender compresses a data source
+and writes the compressed blocks to the platform's disk path — either
+an honest bounded-rate disk (KVM-style) or a host write-back cache
+(XEN-style).  The decision scheme observes, as always, the application
+data rate.
+
+The interesting failure mode this surfaces: with a write-back cache the
+application data rate tracks the *absorb* rate (memory speed) during
+fill phases and ~zero during flush stalls.  Neither reflects the true
+persistence rate, so a rate-based scheme is fed a signal that whipsaws
+between "the sink is infinitely fast — compression can't help" and
+"everything is stuck — nothing helps".  Completion is therefore
+measured **through fsync** — when the data actually reaches the
+platters — which is the number a user ultimately cares about.
+
+The two compression stages (compress, write) are pipelined: per
+quantum the elapsed time is the maximum of the compression time and the
+device-accept time, the standard steady-state two-stage approximation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Generator, List, Union
+
+from ..data.datasource import DataSource
+from ..schemes.base import CompressionScheme, EpochObservation
+from .calibration import CodecSimModel
+from .disk import CachedDisk, PlainDisk
+from .engine import Environment, Event
+from .transfer import MAX_QUANTUM, MIN_QUANTUM, TransferEpoch, TransferResult
+
+
+class FileWriteSim:
+    """One compressed sequential write of ``source`` to ``disk``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        disk: Union[PlainDisk, CachedDisk],
+        source: DataSource,
+        scheme: CompressionScheme,
+        model: CodecSimModel,
+        rng: random.Random,
+        *,
+        epoch_seconds: float = 2.0,
+        compute_jitter: float = 0.03,
+        fsync_at_end: bool = True,
+    ) -> None:
+        if scheme.n_levels != model.n_levels:
+            raise ValueError(
+                f"scheme has {scheme.n_levels} levels but model has {model.n_levels}"
+            )
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        self.env = env
+        self.disk = disk
+        self.source = source
+        self.scheme = scheme
+        self.model = model
+        self.rng = rng
+        self.epoch_seconds = epoch_seconds
+        self.compute_jitter = compute_jitter
+        self.fsync_at_end = fsync_at_end
+        self.result = TransferResult(scheme_name=scheme.name)
+
+    def _comp_rate(self, level: int, jitter: float) -> tuple[float, float]:
+        cls = self.source.class_at(
+            min(self.source.bytes_emitted, self.source.total_bytes - 1)
+        )
+        pt = self.model.point(level, cls)
+        if math.isinf(pt.comp_speed):
+            return math.inf, pt.wire_ratio
+        return pt.comp_speed * jitter, pt.wire_ratio
+
+    def run(self) -> Generator[Event, None, TransferResult]:
+        env = self.env
+        source = self.source
+        start = env.now
+        epoch_start = env.now
+        epoch_bytes = 0.0
+        epoch_wire = 0.0
+        jitter = max(0.5, self.rng.gauss(1.0, self.compute_jitter))
+        rate_estimate = 100e6
+
+        while not source.exhausted:
+            level = self.scheme.current_level
+            comp_rate, wire_ratio = self._comp_rate(level, jitter)
+
+            quantum = min(
+                MAX_QUANTUM, max(MIN_QUANTUM, rate_estimate * self.epoch_seconds / 4.0)
+            )
+            app_chunk = float(source.skip(int(quantum)))
+            if app_chunk <= 0:
+                break
+            wire_chunk = app_chunk * wire_ratio
+
+            t0 = env.now
+            yield from self.disk.write(wire_chunk)
+            write_time = env.now - t0
+            comp_time = 0.0 if math.isinf(comp_rate) else app_chunk / comp_rate
+            if comp_time > write_time:
+                # Pipeline bottleneck is the compressor.
+                yield env.timeout(comp_time - write_time)
+            elapsed = env.now - t0
+            if elapsed > 0:
+                rate_estimate = app_chunk / elapsed
+
+            epoch_bytes += app_chunk
+            epoch_wire += wire_chunk
+            self.result.total_app_bytes += app_chunk
+            self.result.total_wire_bytes += wire_chunk
+
+            if env.now - epoch_start >= self.epoch_seconds:
+                self._close_epoch(epoch_start, epoch_bytes, epoch_wire, level)
+                epoch_start, epoch_bytes, epoch_wire = env.now, 0.0, 0.0
+                jitter = max(0.5, self.rng.gauss(1.0, self.compute_jitter))
+
+        if epoch_bytes > 0 and env.now > epoch_start:
+            self._close_epoch(epoch_start, epoch_bytes, epoch_wire,
+                              self.scheme.current_level)
+
+        if self.fsync_at_end and isinstance(self.disk, CachedDisk):
+            yield from self.disk.fsync()
+        self.result.completion_time = env.now - start
+        return self.result
+
+    def _close_epoch(
+        self, epoch_start: float, epoch_bytes: float, epoch_wire: float, level: int
+    ) -> None:
+        env = self.env
+        duration = env.now - epoch_start
+        app_rate = epoch_bytes / duration
+        wire_rate = epoch_wire / duration
+        cls = self.source.class_at(
+            min(self.source.bytes_emitted, self.source.total_bytes - 1)
+        )
+        pt = self.model.point(level, cls)
+        comp_frac = 0.0 if math.isinf(pt.comp_speed) else app_rate / pt.comp_speed
+        vm_cpu = 100.0 * comp_frac
+        obs = EpochObservation(
+            now=env.now,
+            epoch_seconds=duration,
+            app_rate=app_rate,
+            displayed_cpu_util=vm_cpu,
+            # The VM's bandwidth estimate on the file path is the rate
+            # the device appears to accept — which a write-back cache
+            # inflates to memory speed.
+            displayed_bandwidth=wire_rate,
+        )
+        next_level = self.scheme.on_epoch(obs)
+        self.result.epochs.append(
+            TransferEpoch(
+                start=epoch_start,
+                end=env.now,
+                level=level,
+                next_level=next_level,
+                app_bytes=epoch_bytes,
+                app_rate=app_rate,
+                wire_rate=wire_rate,
+                vm_cpu_util=vm_cpu,
+                host_cpu_util=vm_cpu,
+                displayed_bandwidth=wire_rate,
+            )
+        )
+
+
+def run_file_write_scenario(
+    *,
+    scheme: CompressionScheme,
+    source: DataSource,
+    cached: bool,
+    seed: int = 0,
+    epoch_seconds: float = 2.0,
+    model: CodecSimModel | None = None,
+) -> TransferResult:
+    """Convenience: one compressed file write on an honest or cached disk."""
+    from .hypervisor import PROFILES
+    from .rng import RngStreams
+
+    rngs = RngStreams(seed)
+    env = Environment()
+    if cached:
+        params = PROFILES["xen-paravirt"].disk_cache
+        assert params is not None
+        disk: Union[PlainDisk, CachedDisk] = CachedDisk(
+            env, params, rngs.stream("disk")
+        )
+    else:
+        disk = PlainDisk(
+            env, PROFILES["kvm-paravirt"].file_write_rate, rngs.stream("disk")
+        )
+    sim = FileWriteSim(
+        env,
+        disk,
+        source,
+        scheme,
+        model or CodecSimModel(),
+        rngs.stream("transfer"),
+        epoch_seconds=epoch_seconds,
+    )
+    return env.run_process(sim.run(), name="file-write")

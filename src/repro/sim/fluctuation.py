@@ -1,0 +1,111 @@
+"""Bandwidth fluctuation processes.
+
+Section II-B: on the local Eucalyptus cloud "the fluctuations of network
+throughput only increased marginally compared to ... the native host
+system.  On Amazon EC2, however, we experienced heavy throughput
+variations ... TCP/UDP throughput on Amazon EC2 can fluctuate rapidly
+between 1 GBit/s and zero, even at a time scale of tens of milliseconds"
+(citing Wang & Ng).
+
+Each model is a small process that periodically adjusts a
+:class:`~repro.sim.link.SharedLink`'s capacity factor.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from .engine import Environment, Event, Process
+from .link import SharedLink
+
+
+class FluctuationModel(abc.ABC):
+    """Factory for a capacity-modulation process on a link."""
+
+    @abc.abstractmethod
+    def start(
+        self, env: Environment, link: SharedLink, rng: random.Random
+    ) -> Process:
+        """Spawn the modulation process (runs until the sim ends)."""
+
+
+@dataclass(frozen=True)
+class ConstantCapacity(FluctuationModel):
+    """No fluctuation at all (idealised link)."""
+
+    factor: float = 1.0
+
+    def start(self, env: Environment, link: SharedLink, rng: random.Random) -> Process:
+        def proc() -> Generator[Event, None, None]:
+            link.set_capacity_factor(self.factor)
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        return env.process(proc(), name="constant-capacity")
+
+
+@dataclass(frozen=True)
+class GaussianJitter(FluctuationModel):
+    """Mild Gaussian capacity jitter (native hosts and the local cloud).
+
+    Every ``interval`` seconds the capacity factor is redrawn from
+    ``N(mean, sigma)``, clamped to ``[floor, ceil]``.
+    """
+
+    mean: float = 1.0
+    sigma: float = 0.03
+    interval: float = 0.25
+    floor: float = 0.5
+    ceil: float = 1.15
+
+    def start(self, env: Environment, link: SharedLink, rng: random.Random) -> Process:
+        def proc() -> Generator[Event, None, None]:
+            while True:
+                factor = min(self.ceil, max(self.floor, rng.gauss(self.mean, self.sigma)))
+                link.set_capacity_factor(factor)
+                yield env.timeout(self.interval)
+
+        return env.process(proc(), name="gaussian-jitter")
+
+
+@dataclass(frozen=True)
+class MarkovOnOff(FluctuationModel):
+    """EC2-style two-state bandwidth process.
+
+    Alternates between an UP state (capacity near nominal, with jitter)
+    and a DOWN state (capacity near zero) with exponentially distributed
+    sojourn times at the tens-of-milliseconds scale reported by Wang &
+    Ng [6].
+    """
+
+    mean_up: float = 0.8
+    mean_down: float = 0.08
+    up_factor_mean: float = 1.0
+    up_factor_sigma: float = 0.25
+    down_factor: float = 0.02
+    floor: float = 0.01
+    ceil: float = 1.2
+    #: Occasionally a down episode is a real outage lasting on the
+    #: order of a second — these produce the near-zero 20 MB samples
+    #: visible in Figure 2's EC2 whiskers.
+    outage_probability: float = 0.08
+    mean_outage: float = 1.2
+
+    def start(self, env: Environment, link: SharedLink, rng: random.Random) -> Process:
+        def proc() -> Generator[Event, None, None]:
+            while True:
+                factor = rng.gauss(self.up_factor_mean, self.up_factor_sigma)
+                factor = min(self.ceil, max(self.floor, factor))
+                link.set_capacity_factor(factor)
+                yield env.timeout(rng.expovariate(1.0 / self.mean_up))
+                link.set_capacity_factor(self.down_factor)
+                if rng.random() < self.outage_probability:
+                    down = rng.expovariate(1.0 / self.mean_outage)
+                else:
+                    down = rng.expovariate(1.0 / self.mean_down)
+                yield env.timeout(down)
+
+        return env.process(proc(), name="markov-on-off")

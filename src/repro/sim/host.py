@@ -1,0 +1,61 @@
+"""Physical host composition: NIC, disk, and hosted virtual machines."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from .disk import CachedDisk, PlainDisk
+from .engine import Environment
+from .hypervisor import VirtProfile
+from .link import SharedLink
+from .rng import RngStreams
+from .vm import VirtualMachine
+
+
+class PhysicalHost:
+    """One compute node of the simulated cloud.
+
+    Owns the shared NIC (a :class:`~repro.sim.link.SharedLink`) and the
+    physical disk; virtual machines are placed on it and contend for
+    both.  The appendix hardware — 1 GbE NIC, a single SATA disk — maps
+    to one link and one disk per host.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: VirtProfile,
+        rngs: RngStreams,
+        name: str = "host",
+        nic_capacity: Optional[float] = None,
+    ) -> None:
+        self.env = env
+        self.profile = profile
+        self.rngs = rngs
+        self.name = name
+        self.nic = SharedLink(
+            env, capacity=nic_capacity or profile.net_app_rate, name=f"{name}.nic"
+        )
+        profile.net_fluctuation.start(env, self.nic, rngs.stream(f"{name}.nic-fluct"))
+        self.disk: Union[PlainDisk, CachedDisk]
+        disk_rng = rngs.stream(f"{name}.disk")
+        if profile.disk_cache is not None:
+            self.disk = CachedDisk(env, profile.disk_cache, disk_rng)
+        else:
+            self.disk = PlainDisk(env, profile.file_write_rate, disk_rng)
+        self.vms: List[VirtualMachine] = []
+
+    def spawn_vm(self, name: Optional[str] = None) -> VirtualMachine:
+        """Place a new virtual machine on this host."""
+        vm_name = name or f"{self.name}.vm{len(self.vms)}"
+        vm = VirtualMachine(self, vm_name)
+        self.vms.append(vm)
+        return vm
+
+    def colocated_load(self, vm: VirtualMachine) -> int:
+        """Number of *other* VMs on this host (shared-I/O neighbours)."""
+        return sum(1 for other in self.vms if other is not vm)
+
+    def rng(self, purpose: str) -> random.Random:
+        return self.rngs.stream(f"{self.name}.{purpose}")

@@ -1,0 +1,311 @@
+"""Virtualization platform profiles.
+
+A :class:`VirtProfile` bundles everything the simulator needs to know
+about one platform from the paper's study — XEN (paravirt), KVM (full
+and paravirt), Amazon EC2, and the native baseline:
+
+* per-byte CPU costs of each I/O operation, split into the ledger
+  categories, **twice**: the part the VM displays and the extra part
+  only the host observes (Figure 1's gap);
+* achievable application-level I/O rates (network and file);
+* the network fluctuation model (Figure 2);
+* the disk write path, with or without the XEN host-page-cache
+  behaviour (Figure 3);
+* how much vCPU capacity co-located I/O load steals (Table II's
+  concurrency effect).
+
+Calibration sources: the rates and fractions come from the paper's own
+plots and tables (Figures 1–3, Table II); where the paper gives only a
+qualitative statement ("the gap can grow up to a factor of 15") the
+numbers are chosen to reproduce exactly that statement.  All
+calibration constants live here and in :mod:`repro.sim.calibration` so
+they are auditable in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .cpu import CostVector
+from .fluctuation import FluctuationModel, GaussianJitter, MarkovOnOff
+
+MB = 1e6  # bytes
+
+
+@dataclass(frozen=True)
+class IoCostPair:
+    """VM-visible and host-extra CPU cost of one I/O operation."""
+
+    vm: CostVector
+    host_extra: CostVector
+
+    @classmethod
+    def from_utilizations(
+        cls,
+        vm_percent: Dict[str, float],
+        host_percent: Dict[str, float],
+        rate_bytes_per_s: float,
+    ) -> "IoCostPair":
+        """Build from target utilizations at the platform's I/O rate.
+
+        ``host_percent`` is the *total* the host observes; the stored
+        host-extra vector is the difference to the VM-visible part.
+        """
+        vm_cost = CostVector.from_utilization(vm_percent, rate_bytes_per_s)
+        host_total = CostVector.from_utilization(host_percent, rate_bytes_per_s)
+        extra = CostVector(
+            usr=max(0.0, host_total.usr - vm_cost.usr),
+            sys=max(0.0, host_total.sys - vm_cost.sys),
+            hirq=max(0.0, host_total.hirq - vm_cost.hirq),
+            sirq=max(0.0, host_total.sirq - vm_cost.sirq),
+            steal=max(0.0, host_total.steal - vm_cost.steal),
+        )
+        return cls(vm=vm_cost, host_extra=extra)
+
+
+@dataclass(frozen=True)
+class DiskCacheParams:
+    """Host write-back page cache (the XEN Figure-3 artifact)."""
+
+    #: Rate at which the host page cache absorbs guest writes (bytes/s).
+    absorb_rate: float
+    #: Sustained rate of the physical disk (bytes/s).
+    drain_rate: float
+    #: Dirty-page high watermark: writers stall above this (bytes).
+    high_watermark: float
+    #: Writers resume once dirty data has drained below this (bytes).
+    low_watermark: float
+
+
+@dataclass(frozen=True)
+class VirtProfile:
+    """Everything the simulator knows about one virtualization platform."""
+
+    name: str
+    display_name: str
+    #: Whether an external host view exists (False on EC2: "we were
+    #: unable to observe the CPU utilization as reported by the host").
+    host_observable: bool
+
+    # CPU cost of I/O, per operation.
+    net_send: IoCostPair
+    net_recv: IoCostPair
+    file_write: IoCostPair
+    file_read: IoCostPair
+
+    #: Achievable application-level network rate (bytes/s) with no
+    #: co-located load and no compression.
+    net_app_rate: float
+    #: Network fluctuation model.
+    net_fluctuation: FluctuationModel
+    #: Plain file-write/read rates (bytes/s, physical path).
+    file_write_rate: float
+    file_read_rate: float
+    #: Host write-back cache params, or None for honest write paths.
+    disk_cache: Optional[DiskCacheParams]
+    #: Fraction of vCPU capacity lost per co-located busy VM
+    #: (Table II: HEAVY rows degrade ~2 %/connection).
+    steal_per_bg_flow: float
+    #: Relative jitter (sigma) of in-VM compute speed between epochs.
+    compute_jitter: float
+
+
+def _native() -> VirtProfile:
+    rate = 115 * MB
+    same = {"USR": 2.0, "SYS": 24.0, "HIRQ": 3.0, "SIRQ": 9.0}
+    recv = {"USR": 2.0, "SYS": 30.0, "HIRQ": 4.0, "SIRQ": 12.0}
+    fw = {"USR": 1.0, "SYS": 12.0, "SIRQ": 2.0}
+    fr = {"USR": 1.0, "SYS": 9.0, "SIRQ": 1.0}
+    wrate, rrate = 84 * MB, 72 * MB
+    return VirtProfile(
+        name="native",
+        display_name="Native",
+        host_observable=True,
+        # Native: VM view and host view are the same machine.
+        net_send=IoCostPair.from_utilizations(same, same, rate),
+        net_recv=IoCostPair.from_utilizations(recv, recv, rate),
+        file_write=IoCostPair.from_utilizations(fw, fw, wrate),
+        file_read=IoCostPair.from_utilizations(fr, fr, rrate),
+        net_app_rate=rate,
+        net_fluctuation=GaussianJitter(sigma=0.02, interval=0.25),
+        file_write_rate=wrate,
+        file_read_rate=rrate,
+        disk_cache=None,
+        steal_per_bg_flow=0.0,
+        compute_jitter=0.01,
+    )
+
+
+def _kvm_full() -> VirtProfile:
+    rate = 85 * MB
+    wrate, rrate = 80 * MB, 66 * MB
+    return VirtProfile(
+        name="kvm-full",
+        display_name="KVM (Full Virtualization)",
+        host_observable=True,
+        # Emulated e1000: the guest sees much of the cost itself, the
+        # host adds qemu device emulation on top.
+        net_send=IoCostPair.from_utilizations(
+            {"USR": 2.0, "SYS": 45.0, "HIRQ": 5.0, "SIRQ": 10.0},
+            {"USR": 6.0, "SYS": 55.0, "HIRQ": 3.0, "SIRQ": 12.0},
+            rate,
+        ),
+        net_recv=IoCostPair.from_utilizations(
+            {"USR": 2.0, "SYS": 50.0, "HIRQ": 6.0, "SIRQ": 12.0},
+            {"USR": 6.0, "SYS": 100.0, "HIRQ": 8.0, "SIRQ": 25.0},
+            rate,
+        ),
+        file_write=IoCostPair.from_utilizations(
+            {"USR": 1.0, "SYS": 10.0, "SIRQ": 3.0},
+            {"USR": 4.0, "SYS": 36.0, "SIRQ": 8.0},
+            wrate,
+        ),
+        file_read=IoCostPair.from_utilizations(
+            {"USR": 1.0, "SYS": 8.0, "SIRQ": 2.0},
+            {"USR": 3.0, "SYS": 28.0, "SIRQ": 5.0},
+            rrate,
+        ),
+        net_app_rate=rate,
+        net_fluctuation=GaussianJitter(sigma=0.04, interval=0.25),
+        file_write_rate=wrate,
+        file_read_rate=rrate,
+        disk_cache=None,
+        steal_per_bg_flow=0.02,
+        compute_jitter=0.03,
+    )
+
+
+def _kvm_paravirt() -> VirtProfile:
+    # The evaluation platform of Section IV: KVM with virtio devices.
+    # Table II's NO rows give 50 GB / ~567 s ~= 90.3 MB/s.
+    rate = 90.3 * MB
+    wrate, rrate = 82 * MB, 68 * MB
+    return VirtProfile(
+        name="kvm-paravirt",
+        display_name="KVM (Paravirtualization)",
+        host_observable=True,
+        # virtio: the guest sees almost nothing — the paper's worst
+        # net-send gap, "up to a factor of 15".
+        net_send=IoCostPair.from_utilizations(
+            {"USR": 1.0, "SYS": 4.0, "SIRQ": 2.0},  # VM displays ~7 %
+            {"USR": 10.0, "SYS": 73.0, "HIRQ": 2.0, "SIRQ": 20.0},  # host ~105 %
+            rate,
+        ),
+        net_recv=IoCostPair.from_utilizations(
+            {"USR": 1.0, "SYS": 7.0, "SIRQ": 4.0},
+            {"USR": 10.0, "SYS": 85.0, "HIRQ": 3.0, "SIRQ": 22.0},
+            rate,
+        ),
+        file_write=IoCostPair.from_utilizations(
+            {"USR": 1.0, "SYS": 6.0, "SIRQ": 2.0},
+            {"USR": 3.0, "SYS": 30.0, "SIRQ": 9.0},
+            wrate,
+        ),
+        file_read=IoCostPair.from_utilizations(
+            {"USR": 1.0, "SYS": 5.0, "SIRQ": 2.0},
+            {"USR": 2.0, "SYS": 19.0, "SIRQ": 5.0},
+            rrate,
+        ),
+        net_app_rate=rate,
+        net_fluctuation=GaussianJitter(sigma=0.04, interval=0.25),
+        file_write_rate=wrate,
+        file_read_rate=rrate,
+        disk_cache=None,
+        steal_per_bg_flow=0.02,
+        compute_jitter=0.03,
+    )
+
+
+def _xen_paravirt() -> VirtProfile:
+    rate = 88 * MB
+    wrate, rrate = 80 * MB, 65 * MB
+    return VirtProfile(
+        name="xen-paravirt",
+        display_name="XEN (Paravirtualization)",
+        host_observable=True,
+        net_send=IoCostPair.from_utilizations(
+            {"USR": 2.0, "SYS": 25.0, "HIRQ": 1.0, "SIRQ": 8.0, "STEAL": 9.0},
+            {"USR": 3.0, "SYS": 40.0, "SIRQ": 12.0},
+            rate,
+        ),
+        net_recv=IoCostPair.from_utilizations(
+            {"USR": 2.0, "SYS": 30.0, "HIRQ": 2.0, "SIRQ": 10.0, "STEAL": 8.0},
+            {"USR": 3.0, "SYS": 46.0, "SIRQ": 13.0},
+            rate,
+        ),
+        # File writes hit the host page cache at memory speed (~700 MB/s),
+        # pegging the guest vCPU during absorption; the cost pair is
+        # therefore calibrated at the *absorb* rate.  With the cache's
+        # ~11 % fill/stall duty cycle the per-second sampler averages to
+        # the small bars of Figure 1c.
+        file_write=IoCostPair.from_utilizations(
+            {"USR": 4.0, "SYS": 76.0, "SIRQ": 10.0, "STEAL": 10.0},
+            {"USR": 8.0, "SYS": 210.0, "SIRQ": 42.0},
+            700 * MB,
+        ),
+        # The paper's other factor-15 case: XEN file read.
+        file_read=IoCostPair.from_utilizations(
+            {"USR": 0.3, "SYS": 1.5, "SIRQ": 0.4, "STEAL": 0.3},  # VM ~2.5 %
+            {"USR": 3.0, "SYS": 28.0, "SIRQ": 6.0},  # host ~37 %
+            rrate,
+        ),
+        net_app_rate=rate,
+        net_fluctuation=GaussianJitter(sigma=0.05, interval=0.25),
+        file_write_rate=wrate,
+        file_read_rate=rrate,
+        # 32 GB host RAM: gigabytes of dirty pages absorb guest writes
+        # at memory speed before the periodic flush stalls everything.
+        disk_cache=DiskCacheParams(
+            absorb_rate=700 * MB,
+            drain_rate=80 * MB,
+            high_watermark=3.2e9,
+            low_watermark=0.8e9,
+        ),
+        steal_per_bg_flow=0.02,
+        compute_jitter=0.03,
+    )
+
+
+def _ec2() -> VirtProfile:
+    # m1.small: modest share of an older host; heavily fluctuating net.
+    rate = 62 * MB
+    wrate, rrate = 55 * MB, 48 * MB
+    no_host = {"USR": 0.0}
+    return VirtProfile(
+        name="ec2",
+        display_name="Amazon EC2",
+        host_observable=False,
+        net_send=IoCostPair.from_utilizations(
+            {"USR": 2.0, "SYS": 15.0, "SIRQ": 6.0, "STEAL": 12.0}, no_host, rate
+        ),
+        net_recv=IoCostPair.from_utilizations(
+            {"USR": 2.0, "SYS": 22.0, "SIRQ": 8.0, "STEAL": 10.0}, no_host, rate
+        ),
+        file_write=IoCostPair.from_utilizations(
+            {"USR": 1.0, "SYS": 12.0, "SIRQ": 3.0, "STEAL": 5.0}, no_host, wrate
+        ),
+        file_read=IoCostPair.from_utilizations(
+            {"USR": 1.0, "SYS": 7.0, "SIRQ": 2.0, "STEAL": 3.0}, no_host, rrate
+        ),
+        net_app_rate=rate,
+        net_fluctuation=MarkovOnOff(),
+        file_write_rate=wrate,
+        file_read_rate=rrate,
+        disk_cache=None,
+        steal_per_bg_flow=0.03,
+        compute_jitter=0.08,
+    )
+
+
+def build_profiles() -> Dict[str, VirtProfile]:
+    """Fresh copies of all five platform profiles, keyed by short name."""
+    profiles = [_native(), _kvm_full(), _kvm_paravirt(), _xen_paravirt(), _ec2()]
+    return {p.name: p for p in profiles}
+
+
+#: All platforms of the Section II study, keyed by short name.
+PROFILES: Dict[str, VirtProfile] = build_profiles()
+
+#: The platform the Section IV evaluation ran on.
+EVALUATION_PROFILE = PROFILES["kvm-paravirt"]

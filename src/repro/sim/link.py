@@ -1,0 +1,242 @@
+"""Fluid-flow model of a shared network link.
+
+Co-located virtual machines "in fact share the I/O resources of the
+host system" (Section I); Table II's background scenarios are 1–3
+concurrent TCP connections saturating the sender host's NIC.  This
+module models that contention with the classic *fluid* approximation:
+at any instant, each active flow receives a weighted max-min fair share
+of the link capacity, subject to its own demand cap (a flow whose
+sender is compression-bound does not use its full share; the spare
+capacity is redistributed to the other flows).
+
+Calibration: the paper's Table II NO-compression rows imply the
+foreground flow's share of the 1 GbE link was consistently *larger*
+than a 1/(c+1) fair split — 0.63/0.41/0.35 of the link for c=1/2/3
+background connections.  A foreground weight of 1.5 (background weight
+1.0) reproduces those fractions to within a few percent; see
+:mod:`repro.sim.calibration`.
+
+Rates are bytes/second, sizes are bytes, time is seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from .engine import Environment, Event
+
+#: Residual bytes below which a transmission counts as finished.  Float
+#: error of ``remaining - rate * dt`` leaves residues around
+#: ``size * 1e-10``; treating anything under a hundredth of a byte as
+#: done absorbs those without measurably distorting multi-KB transfers.
+_COMPLETION_EPS = 1e-2
+
+#: Never schedule a completion wake-up closer than this: at large
+#: simulation times, ``now + tiny`` can round back to ``now`` and
+#: starve the event loop at a single timestamp.
+_MIN_WAKE_DELAY = 1e-9
+
+
+@dataclass
+class Flow:
+    """One logical connection riding the link."""
+
+    link: "SharedLink"
+    name: str
+    weight: float = 1.0
+    #: Demand cap in bytes/s; ``None`` means the flow will use whatever
+    #: share it is allocated.
+    demand: Optional[float] = None
+
+    # -- live transmission state (owned by the link) -----------------
+    remaining: float = 0.0
+    rate: float = 0.0
+    completion: Optional[Event] = None
+    bytes_done: float = 0.0
+    _active: bool = field(default=False, repr=False)
+
+    @property
+    def transmitting(self) -> bool:
+        return self._active
+
+    def set_demand(self, demand: Optional[float]) -> None:
+        """Update the demand cap (takes effect immediately)."""
+        if demand is not None and demand < 0:
+            raise ValueError("demand must be >= 0 or None")
+        self.link._advance()
+        self.demand = demand
+        self.link._recompute()
+
+
+class SharedLink:
+    """A single bottleneck link shared by weighted max-min fair flows."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float,
+        name: str = "link",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._capacity_factor = 1.0
+        self._flows: List[Flow] = []
+        self._last_update = env.now
+        self._wake_version = 0
+        #: Total bytes that have crossed the link (for conservation tests).
+        self.total_bytes = 0.0
+
+    # -- flow management ---------------------------------------------
+
+    def open_flow(
+        self, name: str, weight: float = 1.0, demand: Optional[float] = None
+    ) -> Flow:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        flow = Flow(link=self, name=name, weight=weight, demand=demand)
+        self._flows.append(flow)
+        return flow
+
+    def close_flow(self, flow: Flow) -> None:
+        if flow.transmitting:
+            raise RuntimeError(f"flow {flow.name!r} still transmitting")
+        self._flows.remove(flow)
+        self._advance()
+        self._recompute()
+
+    @property
+    def effective_capacity(self) -> float:
+        return self.capacity * self._capacity_factor
+
+    def set_capacity_factor(self, factor: float) -> None:
+        """Scale the link capacity (driven by fluctuation processes)."""
+        if factor < 0:
+            raise ValueError("capacity factor must be >= 0")
+        self._advance()
+        self._capacity_factor = factor
+        self._recompute()
+
+    # -- transmission ------------------------------------------------
+
+    def transmit(self, flow: Flow, nbytes: float) -> Event:
+        """Event that fires when ``nbytes`` have crossed the link."""
+        if flow not in self._flows:
+            raise RuntimeError(f"flow {flow.name!r} not open on this link")
+        if flow.transmitting:
+            raise RuntimeError(f"flow {flow.name!r} already transmitting")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        event = self.env.event()
+        if nbytes == 0:
+            event.succeed()
+            return event
+        self._advance()
+        flow.remaining = float(nbytes)
+        flow.completion = event
+        flow._active = True
+        self._recompute()
+        return event
+
+    def send(self, flow: Flow, nbytes: float) -> Generator[Event, None, None]:
+        """Process-style convenience wrapper around :meth:`transmit`."""
+        yield self.transmit(flow, nbytes)
+
+    def current_rate(self, flow: Flow) -> float:
+        """The flow's instantaneous allocated rate (bytes/s)."""
+        self._advance()
+        self._recompute()
+        return flow.rate
+
+    def allocation_preview(self, extra_demand: Optional[float] = None) -> float:
+        """Rate a hypothetical foreground transmission would get *now*.
+
+        Used by the epoch-granularity transfer model to price a send
+        without mutating link state.
+        """
+        probe = Flow(link=self, name="_probe", weight=1.0, demand=extra_demand)
+        probe._active = True
+        probe.remaining = 1.0
+        alloc = self._water_fill(self._active_flows() + [probe])
+        return alloc.get(id(probe), 0.0)
+
+    # -- internals ----------------------------------------------------
+
+    def _active_flows(self) -> List[Flow]:
+        return [f for f in self._flows if f._active]
+
+    def _advance(self) -> None:
+        """Account progress since the last state change."""
+        now = self.env.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0:
+            return
+        for flow in self._active_flows():
+            moved = min(flow.remaining, flow.rate * dt)
+            flow.remaining -= moved
+            flow.bytes_done += moved
+            self.total_bytes += moved
+
+    def _water_fill(self, active: List[Flow]) -> Dict[int, float]:
+        """Weighted max-min allocation with per-flow demand caps."""
+        alloc: Dict[int, float] = {}
+        todo = list(active)
+        cap = self.effective_capacity
+        while todo:
+            total_weight = sum(f.weight for f in todo)
+            capped = []
+            for f in todo:
+                share = cap * f.weight / total_weight
+                if f.demand is not None and f.demand < share:
+                    capped.append(f)
+            if not capped:
+                for f in todo:
+                    alloc[id(f)] = cap * f.weight / total_weight
+                break
+            for f in capped:
+                alloc[id(f)] = f.demand
+                cap -= f.demand
+                todo.remove(f)
+            cap = max(cap, 0.0)
+        return alloc
+
+    def _recompute(self) -> None:
+        """Re-allocate rates and reschedule the next completion wake-up."""
+        active = self._active_flows()
+        # Complete anything that has (numerically) finished, crediting
+        # the sub-epsilon residue so byte accounting stays exact.
+        finished = [f for f in active if f.remaining <= _COMPLETION_EPS]
+        for flow in finished:
+            flow.bytes_done += flow.remaining
+            self.total_bytes += flow.remaining
+            flow.remaining = 0.0
+            flow._active = False
+            flow.rate = 0.0
+            event, flow.completion = flow.completion, None
+            assert event is not None
+            event.succeed()
+        active = [f for f in active if f.remaining > _COMPLETION_EPS]
+
+        alloc = self._water_fill(active)
+        next_done = math.inf
+        for flow in active:
+            flow.rate = alloc.get(id(flow), 0.0)
+            if flow.rate > 0:
+                next_done = min(next_done, flow.remaining / flow.rate)
+
+        self._wake_version += 1
+        if next_done is not math.inf:
+            version = self._wake_version
+            wake = self.env.timeout(max(next_done, _MIN_WAKE_DELAY))
+            wake.callbacks.append(lambda _ev: self._on_wake(version))
+
+    def _on_wake(self, version: int) -> None:
+        if version != self._wake_version:
+            return  # stale wake-up; state changed since it was scheduled
+        self._advance()
+        self._recompute()

@@ -1,0 +1,123 @@
+"""Measurement instruments used by the Section II accuracy study.
+
+:class:`ThroughputSampler` reproduces the paper's method exactly: "we
+modified our set of auxiliary programs to record timestamps after every
+20 MB of generated or consumed I/O data ... With the help of these
+timestamps we then calculated the I/O data rate as it appeared from
+within the virtual machine." (Section II-B)
+
+:class:`CpuUtilizationSampler` is the ``/proc/stat`` polling loop: it
+snapshots a :class:`~repro.sim.cpu.CpuLedger` every second and reports
+per-category utilization percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List
+
+from .cpu import CATEGORIES, CpuLedger, utilization
+from .engine import Environment, Event
+
+#: The paper's sampling granularity for throughput.
+SAMPLE_BYTES = 20e6
+
+
+@dataclass
+class ThroughputSample:
+    """One 20 MB progress mark."""
+
+    timestamp: float
+    nbytes: float
+    duration: float
+
+    @property
+    def rate(self) -> float:
+        if self.duration <= 0:
+            return float("inf")
+        return self.nbytes / self.duration
+
+
+class ThroughputSampler:
+    """Timestamps every ``sample_bytes`` of progress."""
+
+    def __init__(self, env: Environment, sample_bytes: float = SAMPLE_BYTES) -> None:
+        if sample_bytes <= 0:
+            raise ValueError("sample_bytes must be positive")
+        self.env = env
+        self.sample_bytes = sample_bytes
+        self.samples: List[ThroughputSample] = []
+        self._acc = 0.0
+        self._mark = env.now
+
+    def progress(self, nbytes: float) -> None:
+        """Report ``nbytes`` of completed I/O."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self._acc += nbytes
+        while self._acc >= self.sample_bytes:
+            now = self.env.now
+            self.samples.append(
+                ThroughputSample(
+                    timestamp=now,
+                    nbytes=self.sample_bytes,
+                    duration=now - self._mark,
+                )
+            )
+            self._mark = now
+            self._acc -= self.sample_bytes
+
+    def rates(self) -> List[float]:
+        return [s.rate for s in self.samples if s.duration > 0]
+
+
+@dataclass
+class UtilizationSample:
+    """CPU utilization percentages over one sampling interval."""
+
+    timestamp: float
+    percent: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.percent.values())
+
+
+class CpuUtilizationSampler:
+    """Polls a ledger at a fixed interval, like reading /proc/stat."""
+
+    def __init__(
+        self, env: Environment, ledger: CpuLedger, interval: float = 1.0
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.ledger = ledger
+        self.interval = interval
+        self.samples: List[UtilizationSample] = []
+        self._proc = env.process(self._run(), name="cpu-sampler")
+
+    def _run(self) -> Generator[Event, None, None]:
+        previous = self.ledger.snapshot()
+        while True:
+            yield self.env.timeout(self.interval)
+            current = self.ledger.snapshot()
+            self.samples.append(
+                UtilizationSample(
+                    timestamp=self.env.now,
+                    percent=utilization(previous, current, self.interval),
+                )
+            )
+            previous = current
+
+    def mean_percent(self) -> Dict[str, float]:
+        """Average utilization per category across all samples."""
+        if not self.samples:
+            return {cat: 0.0 for cat in CATEGORIES}
+        n = len(self.samples)
+        return {
+            cat: sum(s.percent[cat] for s in self.samples) / n for cat in CATEGORIES
+        }
+
+    def mean_total(self) -> float:
+        return sum(self.mean_percent().values())

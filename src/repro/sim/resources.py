@@ -1,0 +1,126 @@
+"""Process-synchronization resources for the simulation engine.
+
+:class:`Store` — a bounded FIFO of items (used for block queues and
+producer/consumer backpressure, e.g. the receiver window of a TCP
+connection or the AdOC scheme's compression→send FIFO).
+
+:class:`Semaphore` — counted resource (CPU cores, disk handles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .engine import Environment, Event
+
+
+class Store:
+    """Bounded FIFO item store with blocking put/get.
+
+    ``put`` blocks (the yielded event stays pending) while the store is
+    full; ``get`` blocks while it is empty.  FIFO fairness on both
+    sides.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def _dispatch(self) -> None:
+        # Satisfy as many waiters as possible.
+        progress = True
+        while progress:
+            progress = False
+            if self._items and self._getters:
+                getter = self._getters.popleft()
+                getter.succeed(self._items.popleft())
+                progress = True
+            if not self.is_full and self._putters:
+                putter, item = self._putters.popleft()
+                self._items.append(item)
+                putter.succeed()
+                progress = True
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` has been accepted."""
+        event = self.env.event()
+        if not self.is_full and not self._putters:
+            self._items.append(item)
+            event.succeed()
+            self._dispatch()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Event that fires with the oldest item."""
+        event = self.env.event()
+        if self._items and not self._getters:
+            event.succeed(self._items.popleft())
+            self._dispatch()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; ``None`` when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._dispatch()
+        return item
+
+
+class Semaphore:
+    """Counted resource with FIFO acquire."""
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        event = self.env.event()
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release without matching acquire")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def held(self) -> Generator[Event, None, None]:
+        """``yield from sem.held()`` acquires; caller must release."""
+        yield self.acquire()

@@ -1,0 +1,114 @@
+"""Pre-wired simulation scenarios (one Table II cell per call).
+
+:func:`run_transfer_scenario` assembles environment, shared link,
+fluctuation process, background traffic and the transfer process for a
+single experiment cell and runs it to completion.  All experiment
+harness code (:mod:`repro.experiments`) goes through this entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..data.corpus import Compressibility
+from ..data.datasource import DataSource, RepeatingSource
+from ..schemes.base import CompressionScheme
+from ..schemes.rate_based import RateBasedScheme
+from ..schemes.static import StaticScheme
+from .calibration import FOREGROUND_WEIGHT, CodecSimModel
+from .engine import Environment
+from .fluctuation import FluctuationModel
+from .hypervisor import EVALUATION_PROFILE, VirtProfile
+from .link import SharedLink
+from .rng import RngStreams
+from .transfer import BackgroundTraffic, TransferResult, TransferSim
+
+#: 50 GB, the paper's per-job data volume.
+PAPER_TOTAL_BYTES = 50 * 10**9
+
+
+@dataclass
+class ScenarioConfig:
+    """One cell of the evaluation matrix."""
+
+    #: Scheme under test; built per run so state never leaks.
+    scheme_factory: Callable[[int], CompressionScheme]
+    #: Workload; defaults to repeating a HIGH-class payload.
+    compressibility: Compressibility = Compressibility.HIGH
+    #: Custom source factory (overrides ``compressibility`` if set).
+    source_factory: Optional[Callable[[], DataSource]] = None
+    #: Total application bytes to move (paper: 50 GB).
+    total_bytes: int = PAPER_TOTAL_BYTES
+    #: Concurrent background TCP connections (paper: 0-3).
+    n_background: int = 0
+    #: The paper's ``t``.
+    epoch_seconds: float = 2.0
+    seed: int = 0
+    profile: VirtProfile = field(default_factory=lambda: EVALUATION_PROFILE)
+    #: Fluctuation model; ``None`` uses the profile's.
+    fluctuation: Optional[FluctuationModel] = None
+    #: Codec model; ``None`` uses the calibrated default.
+    model: Optional[CodecSimModel] = None
+    foreground_weight: float = FOREGROUND_WEIGHT
+
+
+def make_static_factory(level: int, name: str) -> Callable[[int], CompressionScheme]:
+    """Scheme factory for one of Table II's static rows (NO/LIGHT/...)."""
+
+    def factory(n_levels: int) -> CompressionScheme:
+        return StaticScheme(n_levels, level, name=name)
+
+    return factory
+
+
+def make_dynamic_factory(alpha: float = 0.2) -> Callable[[int], CompressionScheme]:
+    """Scheme factory for the paper's DYNAMIC row (Algorithm 1)."""
+
+    def factory(n_levels: int) -> CompressionScheme:
+        return RateBasedScheme(n_levels, alpha=alpha)
+
+    return factory
+
+
+def run_transfer_scenario(config: ScenarioConfig) -> TransferResult:
+    """Run one scenario to completion and return its result."""
+    rngs = RngStreams(config.seed)
+    env = Environment()
+    model = config.model or CodecSimModel()
+
+    link = SharedLink(env, capacity=config.profile.net_app_rate, name="nic")
+    fluctuation = config.fluctuation or config.profile.net_fluctuation
+    fluctuation.start(env, link, rngs.stream("link-fluctuation"))
+
+    background = BackgroundTraffic(env, link, config.n_background)
+
+    if config.source_factory is not None:
+        source = config.source_factory()
+    else:
+        source = RepeatingSource.from_corpus(config.compressibility, config.total_bytes)
+
+    scheme = config.scheme_factory(model.n_levels)
+    sim = TransferSim(
+        env,
+        link,
+        source,
+        scheme,
+        model,
+        rngs.stream("transfer"),
+        epoch_seconds=config.epoch_seconds,
+        n_background=config.n_background,
+        cpu_loss_per_bg=config.profile.steal_per_bg_flow,
+        compute_jitter=config.profile.compute_jitter,
+        foreground_weight=config.foreground_weight,
+    )
+    proc = env.process(sim.run(), name="transfer")
+    # Background flows and fluctuation processes never end on their
+    # own, so step the clock in slices until the transfer finishes.
+    while not proc.triggered:
+        before = env.now
+        env.run(until=env.now + 300.0)
+        if env.now == before and not proc.triggered:
+            raise RuntimeError("simulation stalled before transfer completion")
+    background.stop()
+    return proc.value

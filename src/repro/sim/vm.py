@@ -1,0 +1,57 @@
+"""Virtual machine: CPU ledgers + access to the host's shared devices."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .cpu import DualLedger
+from .link import Flow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .host import PhysicalHost
+
+
+class VirtualMachine:
+    """One guest on a :class:`~repro.sim.host.PhysicalHost`.
+
+    Carries the dual CPU ledger (VM-displayed vs host-observed, the
+    Section II instrument) and convenience methods that charge the
+    right cost pair for each I/O operation while moving bytes through
+    the host's shared devices.
+    """
+
+    def __init__(self, host: "PhysicalHost", name: str) -> None:
+        self.host = host
+        self.name = name
+        self.profile = host.profile
+        self.ledger = DualLedger()
+
+    # -- CPU charging per I/O operation -------------------------------
+
+    def charge_net_send(self, nbytes: float) -> None:
+        pair = self.profile.net_send
+        self.ledger.charge_io(pair.vm, pair.host_extra, nbytes)
+
+    def charge_net_recv(self, nbytes: float) -> None:
+        pair = self.profile.net_recv
+        self.ledger.charge_io(pair.vm, pair.host_extra, nbytes)
+
+    def charge_file_write(self, nbytes: float) -> None:
+        pair = self.profile.file_write
+        self.ledger.charge_io(pair.vm, pair.host_extra, nbytes)
+
+    def charge_file_read(self, nbytes: float) -> None:
+        pair = self.profile.file_read
+        self.ledger.charge_io(pair.vm, pair.host_extra, nbytes)
+
+    # -- device access -------------------------------------------------
+
+    def open_net_flow(self, name: str | None = None, weight: float = 1.0) -> Flow:
+        return self.host.nic.open_flow(name or f"{self.name}.flow", weight=weight)
+
+    @property
+    def disk(self):
+        return self.host.disk
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<VirtualMachine {self.name} on {self.host.name}>"

@@ -1,0 +1,176 @@
+"""The Section II auxiliary I/O load generators.
+
+"We created a set of small auxiliary programs to generate network and
+file I/O load" (Section II-A) — four of them: network send, network
+receive, file write, file read.  Each generator here drives the
+corresponding device model at the platform's achievable rate, charges
+the platform's CPU cost pair to the VM's dual ledger, and reports
+20 MB throughput samples, so one run yields both a Figure 1 bar group
+(VM vs host CPU utilization) and a Figure 2/3 distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List
+
+from .cpu import CATEGORIES
+from .disk import CachedDisk
+from .engine import Environment, Event
+from .metrics import CpuUtilizationSampler, ThroughputSampler
+from .vm import VirtualMachine
+
+#: I/O chunk driven through the device per step; equals the paper's
+#: throughput sampling unit.
+CHUNK = 20e6
+
+
+@dataclass
+class WorkloadReport:
+    """Everything one auxiliary-program run measured."""
+
+    operation: str
+    platform: str
+    total_bytes: float
+    duration: float
+    #: Mean CPU utilization per category, VM-displayed.
+    vm_cpu: Dict[str, float]
+    #: Mean CPU utilization per category, host-observed.
+    host_cpu: Dict[str, float]
+    #: 20 MB throughput samples (bytes/s) as seen inside the VM.
+    throughput_samples: List[float]
+
+    @property
+    def vm_cpu_total(self) -> float:
+        return sum(self.vm_cpu.values())
+
+    @property
+    def host_cpu_total(self) -> float:
+        return sum(self.host_cpu.values())
+
+    @property
+    def discrepancy_factor(self) -> float:
+        """host/VM displayed CPU ratio (the Figure 1 gap)."""
+        if self.vm_cpu_total <= 0:
+            return float("inf")
+        return self.host_cpu_total / self.vm_cpu_total
+
+
+def _run_sampled(
+    env: Environment,
+    vm: VirtualMachine,
+    operation: str,
+    total_bytes: float,
+    step: Generator[Event, None, None] | None,
+    io_step,
+    charge,
+) -> WorkloadReport:
+    """Shared driver: move ``total_bytes`` through ``io_step`` in CHUNKs."""
+    throughput = ThroughputSampler(env)
+    vm_sampler = CpuUtilizationSampler(env, vm.ledger.vm)
+    host_sampler = CpuUtilizationSampler(env, vm.ledger.host)
+    start = env.now
+
+    def proc() -> Generator[Event, None, None]:
+        moved = 0.0
+        while moved < total_bytes:
+            chunk = min(CHUNK, total_bytes - moved)
+            yield from io_step(chunk)
+            charge(chunk)
+            throughput.progress(chunk)
+            moved += chunk
+
+    main = env.process(proc(), name=f"workload-{operation}")
+    while not main.triggered:
+        before = env.now
+        # Step in sampler-sized slices so the run does not overshoot the
+        # workload's end by more than one sampling interval (idle
+        # samples would dilute the utilization means).
+        env.run(until=env.now + vm_sampler.interval)
+        if env.now == before and not main.triggered:
+            raise RuntimeError(f"workload {operation!r} stalled")
+    duration = env.now - start
+    # Drop any sample taken after the workload finished.
+    end = start + duration
+    for sampler in (vm_sampler, host_sampler):
+        sampler.samples = [s for s in sampler.samples if s.timestamp <= end]
+    return WorkloadReport(
+        operation=operation,
+        platform=vm.profile.name,
+        total_bytes=total_bytes,
+        duration=duration,
+        vm_cpu=vm_sampler.mean_percent(),
+        host_cpu=host_sampler.mean_percent()
+        if vm.profile.host_observable
+        else {cat: 0.0 for cat in CATEGORIES},
+        throughput_samples=throughput.rates(),
+    )
+
+
+def run_net_send(
+    env: Environment, vm: VirtualMachine, total_bytes: float
+) -> WorkloadReport:
+    """TCP send to an (unvirtualized, never-bottleneck) peer."""
+    flow = vm.open_net_flow(weight=1.0)
+
+    def io_step(chunk: float) -> Generator[Event, None, None]:
+        yield vm.host.nic.transmit(flow, chunk)
+
+    return _run_sampled(
+        env, vm, "net-send", total_bytes, None, io_step, vm.charge_net_send
+    )
+
+
+def run_net_recv(
+    env: Environment, vm: VirtualMachine, total_bytes: float
+) -> WorkloadReport:
+    """TCP receive; the wire path is symmetric in this model."""
+    flow = vm.open_net_flow(weight=1.0)
+
+    def io_step(chunk: float) -> Generator[Event, None, None]:
+        yield vm.host.nic.transmit(flow, chunk)
+
+    return _run_sampled(
+        env, vm, "net-recv", total_bytes, None, io_step, vm.charge_net_recv
+    )
+
+
+def run_file_write(
+    env: Environment, vm: VirtualMachine, total_bytes: float
+) -> WorkloadReport:
+    """Sequential file write through the platform's disk path."""
+    disk = vm.disk
+
+    def io_step(chunk: float) -> Generator[Event, None, None]:
+        yield from disk.write(chunk)
+
+    return _run_sampled(
+        env, vm, "file-write", total_bytes, None, io_step, vm.charge_file_write
+    )
+
+
+def run_file_read(
+    env: Environment, vm: VirtualMachine, total_bytes: float
+) -> WorkloadReport:
+    """Sequential raw-I/O file read (the paper uses raw I/O to dodge
+    guest caching; reads therefore always hit the device)."""
+    disk = vm.disk
+
+    def io_step(chunk: float) -> Generator[Event, None, None]:
+        if isinstance(disk, CachedDisk):
+            # Reads bypass the write-back cache model: raw I/O from disk.
+            yield env.timeout(chunk / disk.params.drain_rate)
+        else:
+            yield from disk.read(chunk)
+
+    return _run_sampled(
+        env, vm, "file-read", total_bytes, None, io_step, vm.charge_file_read
+    )
+
+
+OPERATIONS = {
+    "net-send": run_net_send,
+    "net-recv": run_net_recv,
+    "file-write": run_file_write,
+    "file-read": run_file_read,
+}

@@ -1,0 +1,220 @@
+"""Tests for the self-contained block framing layer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs import (
+    DEFAULT_BLOCK_SIZE,
+    HEADER_SIZE,
+    BlockReader,
+    BlockWriter,
+    CorruptBlockError,
+    LightZlibCodec,
+    LzmaCodec,
+    NullCodec,
+    RleCodec,
+    TruncatedStreamError,
+    UnknownCodecError,
+    decode_block,
+    decode_header,
+    encode_block,
+)
+from repro.codecs.block import FLAG_STORED_FALLBACK, MAGIC
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, codec):
+        data = b"block framing roundtrip " * 50
+        block = encode_block(data, codec)
+        assert decode_block(block.frame) == data
+
+    def test_empty_payload(self, codec):
+        block = encode_block(b"", codec)
+        assert decode_block(block.frame) == b""
+
+    def test_header_fields(self):
+        data = b"x" * 1000
+        codec = LightZlibCodec()
+        block = encode_block(data, codec)
+        assert block.header.codec_id == codec.codec_id
+        assert block.header.uncompressed_len == 1000
+        assert block.header.compressed_len == len(block.frame) - HEADER_SIZE
+
+    def test_ratio(self):
+        block = encode_block(b"\x00" * 1000, LightZlibCodec())
+        assert block.ratio < 0.1
+        raw = encode_block(b"\x00" * 1000, NullCodec())
+        assert raw.ratio == 1.0
+
+    def test_default_block_size_is_papers_128kb(self):
+        assert DEFAULT_BLOCK_SIZE == 128 * 1024
+
+
+class TestStoredFallback:
+    def test_incompressible_block_stored_raw(self):
+        import os
+
+        data = os.urandom(4096)
+        block = encode_block(data, LightZlibCodec())
+        assert block.header.stored_fallback
+        assert block.header.codec_id == 0
+        # Cost is bounded by the header.
+        assert block.frame_len == HEADER_SIZE + len(data)
+        assert decode_block(block.frame) == data
+
+    def test_fallback_can_be_disabled(self):
+        import os
+
+        data = os.urandom(4096)
+        block = encode_block(data, LightZlibCodec(), allow_stored_fallback=False)
+        assert not block.header.stored_fallback
+        assert block.header.codec_id == LightZlibCodec().codec_id
+
+    def test_null_codec_never_flagged(self):
+        block = encode_block(b"abc", NullCodec())
+        assert not block.header.stored_fallback
+
+
+class TestCorruption:
+    def _frame(self, data=b"corruption test payload " * 20):
+        return bytearray(encode_block(data, LightZlibCodec()).frame)
+
+    def test_bad_magic(self):
+        frame = self._frame()
+        frame[0] ^= 0xFF
+        with pytest.raises(CorruptBlockError):
+            decode_block(bytes(frame))
+
+    def test_bad_version(self):
+        frame = self._frame()
+        frame[2] = 99
+        with pytest.raises(CorruptBlockError):
+            decode_block(bytes(frame))
+
+    def test_payload_bitflip_detected_by_crc(self):
+        frame = self._frame()
+        frame[HEADER_SIZE + 3] ^= 0x01
+        with pytest.raises(CorruptBlockError):
+            decode_block(bytes(frame))
+
+    def test_unknown_codec_id(self):
+        frame = self._frame()
+        frame[3] = 200  # unused codec id
+        # CRC still matches the payload, so the registry lookup fires.
+        with pytest.raises(UnknownCodecError):
+            decode_block(bytes(frame))
+
+    def test_truncated_payload(self):
+        frame = self._frame()
+        with pytest.raises(TruncatedStreamError):
+            decode_block(bytes(frame[:-5]))
+
+    def test_short_header(self):
+        with pytest.raises(TruncatedStreamError):
+            decode_header(MAGIC + b"\x01")
+
+    def test_length_lie_detected(self):
+        # Tamper with the uncompressed length *and* fix nothing else:
+        # decode must notice the mismatch after decompression.
+        data = b"y" * 500
+        frame = bytearray(encode_block(data, NullCodec()).frame)
+        frame[8] = (frame[8] + 1) % 256  # uncompressed_len low byte
+        with pytest.raises(CorruptBlockError):
+            decode_block(bytes(frame))
+
+
+class TestWriterReader:
+    def test_stream_roundtrip_mixed_codecs(self):
+        buf = io.BytesIO()
+        writer = BlockWriter(buf)
+        codecs = [NullCodec(), LightZlibCodec(), LzmaCodec(preset=0), RleCodec()]
+        blocks = [bytes([i]) * (100 + i * 37) for i in range(12)]
+        for i, data in enumerate(blocks):
+            writer.write_block(data, codecs[i % len(codecs)])
+        assert writer.blocks_written == 12
+
+        buf.seek(0)
+        reader = BlockReader(buf)
+        out = list(reader)
+        assert out == blocks
+        assert reader.blocks_read == 12
+        assert reader.bytes_out == sum(len(b) for b in blocks)
+
+    def test_reader_handles_short_reads(self):
+        """Sockets return partial reads; the reader must loop."""
+
+        class DribbleIO:
+            def __init__(self, data: bytes) -> None:
+                self._data = data
+                self._pos = 0
+
+            def read(self, n: int) -> bytes:
+                n = min(n, 3)  # never more than 3 bytes at once
+                chunk = self._data[self._pos : self._pos + n]
+                self._pos += len(chunk)
+                return chunk
+
+        data = b"dribble " * 64
+        frame = encode_block(data, LightZlibCodec()).frame
+        reader = BlockReader(DribbleIO(frame * 2))
+        assert reader.read_block() == data
+        assert reader.read_block() == data
+        assert reader.read_block() is None
+
+    def test_truncation_mid_stream_raises(self):
+        frame = encode_block(b"z" * 300, NullCodec()).frame
+        reader = BlockReader(io.BytesIO(frame[: len(frame) // 2]))
+        with pytest.raises(TruncatedStreamError):
+            reader.read_block()
+
+    def test_clean_eof_returns_none(self):
+        reader = BlockReader(io.BytesIO(b""))
+        assert reader.read_block() is None
+
+    def test_writer_statistics(self):
+        buf = io.BytesIO()
+        writer = BlockWriter(buf)
+        writer.write_block(b"\x00" * 1000, LightZlibCodec())
+        assert writer.bytes_in == 1000
+        assert writer.bytes_out == len(buf.getvalue())
+        assert writer.bytes_out < 1000  # compressible data actually shrank
+
+
+class TestBlockProperties:
+    @given(data=st.binary(max_size=2048))
+    @settings(max_examples=150)
+    def test_roundtrip_any_bytes_zlib(self, data):
+        assert decode_block(encode_block(data, LightZlibCodec()).frame) == data
+
+    @given(data=st.binary(max_size=2048))
+    @settings(max_examples=100)
+    def test_roundtrip_any_bytes_null(self, data):
+        block = encode_block(data, NullCodec())
+        assert decode_block(block.frame) == data
+        assert block.frame_len == HEADER_SIZE + len(data)
+
+    @given(
+        blocks=st.lists(st.binary(min_size=0, max_size=512), min_size=0, max_size=10),
+        codec_idx=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60)
+    def test_stream_roundtrip_property(self, blocks, codec_idx):
+        codec = [NullCodec(), LightZlibCodec(), RleCodec()][codec_idx]
+        buf = io.BytesIO()
+        writer = BlockWriter(buf)
+        for b in blocks:
+            writer.write_block(b, codec)
+        buf.seek(0)
+        assert list(BlockReader(buf)) == blocks
+
+    @given(data=st.binary(max_size=1024))
+    @settings(max_examples=100)
+    def test_frame_overhead_bounded(self, data):
+        """With fallback, framing never costs more than the header."""
+        block = encode_block(data, LzmaCodec(preset=0))
+        assert block.frame_len <= HEADER_SIZE + len(data)

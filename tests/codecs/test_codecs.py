@@ -1,0 +1,149 @@
+"""Unit and property tests for the codec implementations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs import (
+    Bz2Codec,
+    CorruptBlockError,
+    LightZlibCodec,
+    LzmaCodec,
+    MediumZlibCodec,
+    NullCodec,
+    RleCodec,
+    ZlibCodec,
+)
+from repro.codecs.base import CodecInfo
+from repro.codecs.rle_codec import MAX_RUN, MIN_RUN, rle_decode, rle_encode
+
+
+class TestCodecInfo:
+    def test_codec_id_range_enforced(self):
+        with pytest.raises(ValueError):
+            CodecInfo(codec_id=256, name="bad")
+        with pytest.raises(ValueError):
+            CodecInfo(codec_id=-1, name="bad")
+
+    def test_ids_are_unique_across_shipped_codecs(self):
+        codecs = [
+            NullCodec(),
+            *[ZlibCodec(i) for i in range(1, 10)],
+            *[LzmaCodec(i) for i in range(0, 10)],
+            Bz2Codec(1),
+            Bz2Codec(9),
+            RleCodec(),
+        ]
+        ids = [c.codec_id for c in codecs]
+        assert len(set(ids)) == len(ids)
+
+
+class TestRoundTrip:
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_simple(self, codec):
+        data = b"hello world " * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_all_byte_values(self, codec):
+        data = bytes(range(256)) * 16
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_corpus_payloads(self, codec, high_payload, moderate_payload, low_payload):
+        for payload in (high_payload, moderate_payload, low_payload):
+            assert codec.decompress(codec.compress(payload)) == payload
+
+
+class TestCompressionEffectiveness:
+    """Codecs must actually occupy their ladder positions."""
+
+    def test_zlib_levels_ordered_by_ratio(self, moderate_payload):
+        light = len(LightZlibCodec().compress(moderate_payload))
+        medium = len(MediumZlibCodec().compress(moderate_payload))
+        assert medium <= light
+
+    def test_lzma_beats_zlib_on_text(self, moderate_payload):
+        heavy = len(LzmaCodec(preset=2).compress(moderate_payload))
+        light = len(LightZlibCodec().compress(moderate_payload))
+        assert heavy < light
+
+    def test_rle_excels_on_runs(self):
+        data = b"\x00" * 10_000
+        assert len(RleCodec().compress(data)) < 200
+
+    def test_rle_harmless_overhead_on_noise(self, low_payload):
+        out = RleCodec().compress(low_payload)
+        # Worst case adds one control byte per 128 literals.
+        assert len(out) <= len(low_payload) * 1.02
+
+
+class TestCorruptionDetection:
+    @pytest.mark.parametrize(
+        "codec_cls", [LightZlibCodec, MediumZlibCodec], ids=["zlib1", "zlib6"]
+    )
+    def test_zlib_rejects_garbage(self, codec_cls):
+        with pytest.raises(CorruptBlockError):
+            codec_cls().decompress(b"definitely not deflate")
+
+    def test_lzma_rejects_garbage(self):
+        with pytest.raises(CorruptBlockError):
+            LzmaCodec().decompress(b"definitely not xz data")
+
+    def test_bz2_rejects_garbage(self):
+        with pytest.raises(CorruptBlockError):
+            Bz2Codec().decompress(b"definitely not bzip2")
+
+
+class TestParameterValidation:
+    def test_zlib_level_bounds(self):
+        for bad in (0, 10, -3):
+            with pytest.raises(ValueError):
+                ZlibCodec(bad)
+
+    def test_lzma_preset_bounds(self):
+        for bad in (-1, 10):
+            with pytest.raises(ValueError):
+                LzmaCodec(bad)
+
+    def test_bz2_level_bounds(self):
+        for bad in (0, 10):
+            with pytest.raises(ValueError):
+                Bz2Codec(bad)
+
+
+class TestRleFormat:
+    def test_min_run_not_encoded_as_run(self):
+        # 3 repeats < MIN_RUN: stays literal.
+        data = b"aaab"
+        encoded = rle_encode(data)
+        assert encoded == bytes([len(data) - 1]) + data
+
+    def test_exact_min_run(self):
+        data = b"a" * MIN_RUN
+        encoded = rle_encode(data)
+        assert encoded == bytes([0x80, ord("a")])
+
+    def test_max_run_split(self):
+        data = b"b" * (MAX_RUN + 5)
+        assert rle_decode(rle_encode(data)) == data
+
+    def test_truncated_literal_detected(self):
+        with pytest.raises(CorruptBlockError):
+            rle_decode(bytes([10]) + b"ab")  # claims 11 literals, has 2
+
+    def test_truncated_run_detected(self):
+        with pytest.raises(CorruptBlockError):
+            rle_decode(bytes([0x85]))  # run control byte with no value byte
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, data):
+        assert rle_decode(rle_encode(data)) == data
+
+    @given(st.binary(min_size=1, max_size=512), st.integers(min_value=1, max_value=64))
+    def test_roundtrip_repeated_patterns(self, pattern, reps):
+        data = pattern * reps
+        assert rle_decode(rle_encode(data)) == data

@@ -1,0 +1,87 @@
+"""Tests for header-only stream inspection."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.codecs import (
+    BlockWriter,
+    LightZlibCodec,
+    LzmaCodec,
+    NullCodec,
+    TruncatedStreamError,
+    scan_block_stream,
+)
+
+
+def make_stream(spec):
+    """spec: list of (codec, payload) pairs -> BytesIO of frames."""
+    buf = io.BytesIO()
+    writer = BlockWriter(buf)
+    for codec, payload in spec:
+        writer.write_block(payload, codec)
+    buf.seek(0)
+    return buf
+
+
+class TestScanBlockStream:
+    def test_empty_stream(self):
+        info = scan_block_stream(io.BytesIO(b""))
+        assert info.blocks == 0
+        assert info.ratio == 1.0
+        assert info.codecs_used == 0
+
+    def test_single_codec(self):
+        payload = b"inspection " * 100
+        stream = make_stream([(LightZlibCodec(), payload)] * 4)
+        info = scan_block_stream(stream)
+        assert info.blocks == 4
+        assert info.uncompressed_bytes == 4 * len(payload)
+        assert info.ratio < 0.5
+        assert set(info.per_codec) == {"zlib-1"}
+        assert info.per_codec["zlib-1"].blocks == 4
+
+    def test_mixed_codecs(self):
+        payload = b"mixed " * 200
+        stream = make_stream(
+            [
+                (NullCodec(), payload),
+                (LightZlibCodec(), payload),
+                (LzmaCodec(preset=0), payload),
+            ]
+        )
+        info = scan_block_stream(stream)
+        assert info.codecs_used == 3
+        assert set(info.per_codec) == {"null", "zlib-1", "lzma-0"}
+
+    def test_fallback_counted_separately(self):
+        incompressible = os.urandom(2000)
+        stream = make_stream([(LightZlibCodec(), incompressible)])
+        info = scan_block_stream(stream)
+        assert info.fallback_blocks == 1
+        assert "null (fallback)" in info.per_codec
+
+    def test_totals_match_stream_size(self):
+        payload = b"t" * 500
+        stream = make_stream([(NullCodec(), payload)] * 3)
+        raw = stream.getvalue()
+        info = scan_block_stream(io.BytesIO(raw))
+        assert info.stream_bytes == len(raw)
+
+    def test_truncated_header_detected(self):
+        stream = make_stream([(NullCodec(), b"x" * 100)])
+        raw = stream.getvalue()
+        with pytest.raises(TruncatedStreamError):
+            scan_block_stream(io.BytesIO(raw[:10]))
+
+    def test_scan_does_not_decompress(self):
+        """Inspection must work even when a payload would fail to
+        decompress (it only reads headers)."""
+        stream = make_stream([(LightZlibCodec(), b"valid " * 100)])
+        raw = bytearray(stream.getvalue())
+        raw[25] ^= 0xFF  # corrupt the payload body, not the header
+        info = scan_block_stream(io.BytesIO(bytes(raw)))
+        assert info.blocks == 1

@@ -1,0 +1,76 @@
+"""Tests for the codec registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import (
+    DEFAULT_REGISTRY,
+    CodecRegistry,
+    LightZlibCodec,
+    NullCodec,
+    UnknownCodecError,
+    build_default_registry,
+)
+from repro.codecs.base import Codec, CodecInfo
+
+
+class FakeCodec(Codec):
+    def __init__(self, codec_id: int, name: str) -> None:
+        self.info = CodecInfo(codec_id=codec_id, name=name)
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = CodecRegistry()
+        codec = FakeCodec(99, "fake")
+        reg.register(codec)
+        assert reg.get(99) is codec
+        assert 99 in reg
+        assert len(reg) == 1
+
+    def test_unknown_id_raises(self):
+        reg = CodecRegistry()
+        with pytest.raises(UnknownCodecError) as exc_info:
+            reg.get(42)
+        assert exc_info.value.codec_id == 42
+
+    def test_id_collision_rejected(self):
+        reg = CodecRegistry()
+        reg.register(FakeCodec(7, "one"))
+        with pytest.raises(ValueError, match="already bound"):
+            reg.register(FakeCodec(7, "two"))
+
+    def test_same_name_reregistration_is_idempotent(self):
+        reg = CodecRegistry()
+        first = reg.register(FakeCodec(7, "one"))
+        second = reg.register(FakeCodec(7, "one"))
+        assert second is first
+
+    def test_by_name(self):
+        reg = build_default_registry()
+        assert reg.by_name("zlib-1").codec_id == LightZlibCodec().codec_id
+        with pytest.raises(KeyError):
+            reg.by_name("nope")
+
+    def test_default_registry_contains_paper_levels(self):
+        # Null, both zlib QuickLZ stand-ins, and LZMA must be resolvable.
+        assert DEFAULT_REGISTRY.get(0).name == "null"
+        assert DEFAULT_REGISTRY.by_name("zlib-1")
+        assert DEFAULT_REGISTRY.by_name("zlib-6")
+        assert DEFAULT_REGISTRY.by_name("lzma-2")
+        assert DEFAULT_REGISTRY.by_name("lzma-4")  # default HEAVY level
+
+    def test_default_registry_roundtrip_every_codec(self):
+        payload = bytes(range(256)) * 4
+        for codec in DEFAULT_REGISTRY:
+            assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_null_codec_is_id_zero(self):
+        assert NullCodec().codec_id == 0

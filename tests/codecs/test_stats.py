@@ -1,0 +1,42 @@
+"""Tests for codec measurement helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import LightZlibCodec, NullCodec, measure_codec, measure_many
+
+
+class TestMeasureCodec:
+    def test_basic_measurement(self, moderate_payload):
+        m = measure_codec(LightZlibCodec(), moderate_payload, repeats=1)
+        assert m.codec_name == "zlib-1"
+        assert m.payload_bytes == len(moderate_payload)
+        assert 0 < m.compressed_bytes < len(moderate_payload)
+        assert 0 < m.ratio < 1
+        assert m.compress_mb_per_s > 0
+        assert m.decompress_mb_per_s > 0
+
+    def test_null_codec_ratio_is_one(self, moderate_payload):
+        m = measure_codec(NullCodec(), moderate_payload, repeats=1)
+        assert m.ratio == 1.0
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            measure_codec(NullCodec(), b"x", repeats=0)
+
+    def test_empty_payload(self):
+        m = measure_codec(NullCodec(), b"", repeats=1)
+        assert m.ratio == 1.0
+
+    def test_injectable_clock(self):
+        ticks = iter(range(100))
+        m = measure_codec(
+            NullCodec(), b"x" * 1000, repeats=1, clock=lambda: float(next(ticks))
+        )
+        assert m.compress_seconds == 1.0
+        assert m.decompress_seconds == 1.0
+
+    def test_measure_many(self, moderate_payload):
+        ms = measure_many([NullCodec(), LightZlibCodec()], moderate_payload, repeats=1)
+        assert [m.codec_name for m in ms] == ["null", "zlib-1"]

@@ -1,0 +1,65 @@
+"""Tests for the exponential backoff table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BackoffTable
+
+
+class TestBackoffTable:
+    def test_initial_thresholds_are_one(self):
+        table = BackoffTable(4)
+        assert [table.threshold(i) for i in range(4)] == [1, 1, 1, 1]
+
+    def test_reward_doubles_threshold(self):
+        table = BackoffTable(4)
+        for expected in (2, 4, 8, 16):
+            table.reward(2)
+            assert table.threshold(2) == expected
+        # Other levels untouched.
+        assert table.threshold(1) == 1
+
+    def test_punish_resets_to_one(self):
+        table = BackoffTable(4)
+        for _ in range(5):
+            table.reward(1)
+        table.punish(1)
+        assert table.threshold(1) == 1
+        assert table.exponent(1) == 0
+
+    def test_exponent_capped(self):
+        table = BackoffTable(2)
+        for _ in range(100):
+            table.reward(0)
+        assert table.exponent(0) == BackoffTable.MAX_EXPONENT
+        assert table.threshold(0) == 1 << BackoffTable.MAX_EXPONENT
+
+    def test_snapshot_is_copy(self):
+        table = BackoffTable(3)
+        snap = table.snapshot()
+        snap[0] = 99
+        assert table.exponent(0) == 0
+
+    def test_len(self):
+        assert len(BackoffTable(5)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffTable(0)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["reward", "punish"]), st.integers(0, 3)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100)
+    def test_threshold_always_power_of_two(self, ops):
+        table = BackoffTable(4)
+        for op, level in ops:
+            getattr(table, op)(level)
+            t = table.threshold(level)
+            assert t >= 1 and (t & (t - 1)) == 0

@@ -1,0 +1,85 @@
+"""Tests for the epoch-driven adaptive controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdaptiveController
+
+
+class TestAdaptiveController:
+    def test_no_decision_within_epoch(self):
+        ctl = AdaptiveController(n_levels=4, epoch_seconds=2.0)
+        ctl.record(1000)
+        assert ctl.poll(1.9) is None
+        assert ctl.current_level == 0
+
+    def test_decision_at_epoch_boundary(self):
+        ctl = AdaptiveController(n_levels=4, epoch_seconds=2.0)
+        ctl.record(1000)
+        rec = ctl.poll(2.0)
+        assert rec is not None
+        assert rec.app_bytes == 1000
+        assert rec.app_rate == 500.0
+        assert rec.level_before == 0
+        assert rec.level_after == 1  # first decision probes up
+
+    def test_epoch_clock_restarts_after_decision(self):
+        ctl = AdaptiveController(n_levels=4, epoch_seconds=2.0)
+        ctl.record(10)
+        assert ctl.poll(2.5) is not None
+        ctl.record(10)
+        assert ctl.poll(3.0) is None  # only 0.5 s into the new epoch
+        assert ctl.poll(4.5) is not None
+
+    def test_overcalling_poll_is_free(self):
+        ctl = AdaptiveController(n_levels=4, epoch_seconds=2.0)
+        for now in (0.1, 0.2, 0.3):
+            assert ctl.poll(now) is None
+        assert len(ctl.trace) == 0
+
+    def test_clock_start_offset(self):
+        ctl = AdaptiveController(n_levels=4, epoch_seconds=2.0, clock_start=100.0)
+        ctl.record(10)
+        assert ctl.poll(101.0) is None
+        rec = ctl.poll(102.0)
+        assert rec is not None
+        assert rec.start == 100.0
+
+    def test_force_decision(self):
+        ctl = AdaptiveController(n_levels=4, epoch_seconds=60.0)
+        ctl.record(100)
+        rec = ctl.force_decision(1.0)
+        assert rec.app_rate == 100.0
+
+    def test_total_bytes(self):
+        ctl = AdaptiveController(n_levels=4)
+        ctl.record(5)
+        ctl.record(6)
+        assert ctl.total_bytes == 11
+
+    def test_trace_accumulates(self):
+        ctl = AdaptiveController(n_levels=4, epoch_seconds=1.0)
+        for i in range(1, 6):
+            ctl.record(100)
+            ctl.poll(float(i))
+        assert len(ctl.trace) == 5
+        assert [r.epoch for r in ctl.trace] == list(range(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveController(n_levels=4, epoch_seconds=0)
+
+    def test_level_timeline(self):
+        ctl = AdaptiveController(n_levels=4, epoch_seconds=1.0)
+        # Flat rate: level probes away and reverts per the algorithm.
+        for i in range(1, 8):
+            ctl.record(100)
+            ctl.poll(float(i))
+        timeline = ctl.level_timeline()
+        assert timeline[0] == (0.0, 0)
+        # Timeline times must be non-decreasing.
+        times = [t for t, _ in timeline]
+        assert times == sorted(times)
+        # Every level in range.
+        assert all(0 <= lvl < 4 for _, lvl in timeline)

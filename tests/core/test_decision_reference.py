@@ -1,0 +1,106 @@
+"""Differential test: the library vs an independent transcription.
+
+`REFERENCE` below is a second, deliberately naive transcription of the
+paper's Algorithm 1 and its prose state updates, written without
+looking at ``repro.core.decision``.  Hypothesis drives both with random
+rate sequences; any divergence means one of the two misread the paper.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DecisionModel
+
+
+class ReferenceModel:
+    """Straight-line re-transcription of Algorithm 1 (+ Table I)."""
+
+    def __init__(self, n_levels: int, alpha: float = 0.2) -> None:
+        self.n = n_levels
+        self.alpha = alpha
+        self.ccl = 0
+        self.c = 0
+        self.inc = True
+        self.bck = [0] * n_levels
+        self.pdr = None
+
+    def observe(self, cdr: float) -> int:
+        if self.pdr is None:
+            self.pdr = cdr
+        pdr = self.pdr
+        ccl = self.ccl
+
+        # --- Algorithm 1, line by line --------------------------------
+        d = cdr - pdr  # 1
+        self.c += 1  # 2
+        ncl = ccl  # 3
+        probe = False
+        if abs(d) <= self.alpha * pdr:  # 4
+            if self.c >= 2 ** self.bck[ccl]:  # 6
+                if self.inc:  # 7
+                    ncl = ncl + 1  # 8
+                else:
+                    ncl = ncl - 1  # 10
+                self.c = 0  # 12
+                probe = True
+        elif d > 0:  # 15
+            self.bck[ccl] = min(self.bck[ccl] + 1, 30)  # 16 (+ cap)
+            self.c = 0  # 17
+        else:  # 19
+            self.bck[ccl] = 0  # 20
+            if self.inc:  # 21
+                ncl = ncl - 1  # 22
+            else:
+                ncl = ncl + 1  # 24
+            self.c = 0  # 26
+        # --- boundary policy (documented in repro.core.decision) ------
+        if not 0 <= ncl < self.n:
+            if probe:
+                reflected = ccl - (ncl - ccl)
+                ncl = reflected if 0 <= reflected < self.n and reflected != ccl else ccl
+            else:
+                ncl = min(max(ncl, 0), self.n - 1)
+        # --- prose updates ("inc is usually updated outside") ---------
+        if ncl > ccl:
+            self.inc = True
+        elif ncl < ccl:
+            self.inc = False
+        elif probe:
+            # Reflection collapsed: flip the probe direction.
+            self.inc = not self.inc
+        self.pdr = cdr
+        self.ccl = ncl
+        return ncl
+
+
+rate_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestAgainstReference:
+    @given(rates=rate_lists, n_levels=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=300, deadline=None)
+    def test_levels_identical(self, rates, n_levels):
+        lib = DecisionModel(n_levels)
+        ref = ReferenceModel(n_levels)
+        for rate in rates:
+            assert lib.observe(rate) == ref.observe(rate)
+
+    @given(rates=rate_lists, alpha=st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=150, deadline=None)
+    def test_state_identical(self, rates, alpha):
+        lib = DecisionModel(4, alpha=alpha)
+        ref = ReferenceModel(4, alpha=alpha)
+        for rate in rates:
+            lib.observe(rate)
+            ref.observe(rate)
+            assert lib.state.ccl == ref.ccl
+            assert lib.state.c == ref.c
+            assert lib.state.inc == ref.inc
+            assert lib.state.bck.snapshot() == ref.bck
+            assert lib.state.pdr == ref.pdr

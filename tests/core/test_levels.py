@@ -1,0 +1,81 @@
+"""Tests for compression level tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import LightZlibCodec, LzmaCodec, NullCodec
+from repro.core import (
+    PAPER_LEVEL_NAMES,
+    CompressionLevel,
+    CompressionLevelTable,
+    default_level_table,
+)
+
+
+class TestDefaultTable:
+    def test_paper_ladder(self):
+        table = default_level_table()
+        assert table.names == PAPER_LEVEL_NAMES == ("NO", "LIGHT", "MEDIUM", "HEAVY")
+        assert len(table) == 4
+        assert table.codec(0).codec_id == 0
+
+    def test_levels_ordered_by_time_ratio(self, moderate_payload):
+        """'The individual compression levels must be ordered by their
+        respective time/compression ratio' — verify the shipped ladder
+        compresses monotonically better with level on prose data."""
+        table = default_level_table()
+        sizes = [len(table.codec(i).compress(moderate_payload)) for i in range(4)]
+        assert sizes[0] > sizes[1] > sizes[2] > sizes[3]
+
+    def test_index_of(self):
+        table = default_level_table()
+        assert table.index_of("HEAVY") == 3
+        with pytest.raises(KeyError):
+            table.index_of("ULTRA")
+
+    def test_iteration_and_getitem(self):
+        table = default_level_table()
+        levels = list(table)
+        assert [lvl.index for lvl in levels] == [0, 1, 2, 3]
+        assert table[2].name == "MEDIUM"
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionLevelTable([])
+
+    def test_level_zero_must_be_null(self):
+        with pytest.raises(ValueError, match="null codec"):
+            CompressionLevelTable.from_codecs([LightZlibCodec()])
+
+    def test_non_contiguous_indices_rejected(self):
+        levels = [
+            CompressionLevel(0, "NO", NullCodec()),
+            CompressionLevel(2, "X", LightZlibCodec()),
+        ]
+        with pytest.raises(ValueError, match="contiguous"):
+            CompressionLevelTable(levels)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CompressionLevelTable.from_codecs(
+                [NullCodec(), LightZlibCodec(), LzmaCodec()],
+                names=["A", "B", "B"],
+            )
+
+    def test_names_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CompressionLevelTable.from_codecs([NullCodec()], names=["A", "B"])
+
+
+class TestCustomLadders:
+    def test_longer_ladder(self):
+        """Section III-A allows any n; build a 5-level ladder."""
+        table = CompressionLevelTable.from_codecs(
+            [NullCodec(), LightZlibCodec(), LzmaCodec(0), LzmaCodec(2), LzmaCodec(6)],
+            names=["NO", "FAST", "L0", "L2", "L6"],
+        )
+        assert len(table) == 5
+        assert table.codec(4).name == "lzma-6"

@@ -1,0 +1,101 @@
+"""Tests for rate measurement primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EpochSample, RateMeter, RateWindow
+
+
+class TestEpochSample:
+    def test_rate(self):
+        s = EpochSample(start=0.0, end=2.0, nbytes=200)
+        assert s.duration == 2.0
+        assert s.rate == 100.0
+
+    def test_zero_duration_rate_is_zero(self):
+        s = EpochSample(start=1.0, end=1.0, nbytes=50)
+        assert s.rate == 0.0
+
+
+class TestRateMeter:
+    def test_accumulate_and_close(self):
+        meter = RateMeter(clock_start=10.0)
+        meter.record(100)
+        meter.record(50)
+        sample = meter.close_epoch(12.0)
+        assert sample.nbytes == 150
+        assert sample.start == 10.0
+        assert sample.end == 12.0
+        assert sample.rate == 75.0
+
+    def test_epoch_reset_after_close(self):
+        meter = RateMeter()
+        meter.record(100)
+        meter.close_epoch(1.0)
+        assert meter.pending_bytes == 0
+        sample = meter.close_epoch(2.0)
+        assert sample.nbytes == 0
+        assert sample.start == 1.0
+
+    def test_total_bytes_survives_epochs(self):
+        meter = RateMeter()
+        meter.record(5)
+        meter.close_epoch(1.0)
+        meter.record(7)
+        assert meter.total_bytes == 12
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            RateMeter().record(-1)
+
+    def test_clock_backwards_rejected(self):
+        meter = RateMeter(clock_start=5.0)
+        with pytest.raises(ValueError):
+            meter.close_epoch(4.0)
+
+    @given(
+        chunks=st.lists(st.integers(min_value=0, max_value=10_000), max_size=100),
+        duration=st.floats(min_value=0.001, max_value=100.0),
+    )
+    @settings(max_examples=100)
+    def test_rate_equals_sum_over_duration(self, chunks, duration):
+        meter = RateMeter()
+        for c in chunks:
+            meter.record(c)
+        sample = meter.close_epoch(duration)
+        assert sample.nbytes == sum(chunks)
+        assert sample.rate == pytest.approx(sum(chunks) / duration)
+
+
+class TestRateWindow:
+    def test_mean_rate_duration_weighted(self):
+        window = RateWindow()
+        window.push(EpochSample(0.0, 1.0, 100))  # 100 B/s for 1 s
+        window.push(EpochSample(1.0, 4.0, 600))  # 200 B/s for 3 s
+        assert window.mean_rate() == pytest.approx(700 / 4)
+
+    def test_empty_window(self):
+        window = RateWindow()
+        assert window.mean_rate() == 0.0
+        assert window.last is None
+        assert len(window) == 0
+
+    def test_maxlen_evicts_oldest(self):
+        window = RateWindow(maxlen=2)
+        for i in range(4):
+            window.push(EpochSample(i, i + 1.0, i * 10))
+        assert len(window) == 2
+        assert window.rates() == [20.0, 30.0]
+
+    def test_last(self):
+        window = RateWindow()
+        s = EpochSample(0.0, 1.0, 5)
+        window.push(s)
+        assert window.last == s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateWindow(maxlen=0)

@@ -1,0 +1,115 @@
+"""Property-based tests for the adaptive block-stream layer."""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs import BlockReader
+from repro.core import AdaptiveBlockWriter, StaticBlockWriter
+
+
+class SteppingClock:
+    """Clock advancing a fixed amount per call (deterministic epochs)."""
+
+    def __init__(self, step: float) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@st.composite
+def chunked_payload(draw):
+    """A payload split into arbitrary chunks."""
+    chunks = draw(
+        st.lists(
+            st.binary(min_size=0, max_size=700),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    return chunks
+
+
+class TestAdaptiveStreamProperties:
+    @given(
+        chunks=chunked_payload(),
+        block_size=st.integers(min_value=16, max_value=2048),
+        clock_step=st.floats(min_value=0.001, max_value=0.2),
+        epoch_seconds=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_any_chunking_and_timing(
+        self, chunks, block_size, clock_step, epoch_seconds
+    ):
+        """Whatever the chunking, block size and epoch timing (and thus
+        whatever level changes happen mid-stream), the reader restores
+        the exact byte stream."""
+        payload = b"".join(chunks)
+        sink = io.BytesIO()
+        writer = AdaptiveBlockWriter(
+            sink,
+            block_size=block_size,
+            epoch_seconds=epoch_seconds,
+            clock=SteppingClock(clock_step),
+        )
+        for chunk in chunks:
+            writer.write(chunk)
+        writer.close()
+
+        sink.seek(0)
+        assert b"".join(BlockReader(sink)) == payload
+
+    @given(
+        chunks=chunked_payload(),
+        block_size=st.integers(min_value=16, max_value=2048),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bytes_in_accounting_exact(self, chunks, block_size):
+        payload = b"".join(chunks)
+        writer = AdaptiveBlockWriter(
+            io.BytesIO(), block_size=block_size, clock=SteppingClock(0.01)
+        )
+        for chunk in chunks:
+            writer.write(chunk)
+        writer.close()
+        assert writer.bytes_in == len(payload)
+
+    @given(
+        chunks=chunked_payload(),
+        level=st.integers(min_value=0, max_value=3),
+        block_size=st.integers(min_value=16, max_value=2048),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_static_writer_roundtrip(self, chunks, level, block_size):
+        payload = b"".join(chunks)
+        sink = io.BytesIO()
+        writer = StaticBlockWriter(sink, level, block_size=block_size)
+        for chunk in chunks:
+            writer.write(chunk)
+        writer.close()
+        sink.seek(0)
+        assert b"".join(BlockReader(sink)) == payload
+
+    @given(chunks=chunked_payload())
+    @settings(max_examples=60, deadline=None)
+    def test_wire_overhead_bounded(self, chunks):
+        """With the stored fallback, the framed stream never exceeds
+        the payload by more than one header per block."""
+        payload = b"".join(chunks)
+        sink = io.BytesIO()
+        writer = AdaptiveBlockWriter(
+            sink, block_size=256, clock=SteppingClock(0.05), epoch_seconds=0.1
+        )
+        for chunk in chunks:
+            writer.write(chunk)
+        writer.close()
+        from repro.codecs import HEADER_SIZE
+
+        max_total = len(payload) + HEADER_SIZE * max(1, writer.blocks_written)
+        assert writer.bytes_out <= max_total

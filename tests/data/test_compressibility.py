@@ -1,0 +1,62 @@
+"""Tests for compressibility estimation helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs import LightZlibCodec, NullCodec
+from repro.data import mean_measured_ratio, measured_ratio, shannon_entropy
+
+
+class TestShannonEntropy:
+    def test_empty(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_constant_bytes_zero_entropy(self):
+        assert shannon_entropy(b"\x00" * 1000) == 0.0
+
+    def test_uniform_bytes_max_entropy(self):
+        data = bytes(range(256)) * 10
+        assert shannon_entropy(data) == pytest.approx(8.0)
+
+    def test_two_symbols_one_bit(self):
+        assert shannon_entropy(b"ab" * 500) == pytest.approx(1.0)
+
+    @given(data=st.binary(min_size=1, max_size=2000))
+    @settings(max_examples=100)
+    def test_bounds(self, data):
+        e = shannon_entropy(data)
+        assert 0.0 <= e <= 8.0 + 1e-9
+
+    @given(data=st.binary(min_size=1, max_size=500))
+    @settings(max_examples=60)
+    def test_permutation_invariant(self, data):
+        assert shannon_entropy(data) == pytest.approx(
+            shannon_entropy(bytes(sorted(data)))
+        )
+
+
+class TestMeasuredRatio:
+    def test_null_codec_is_one(self):
+        assert measured_ratio(b"abc" * 100, NullCodec()) == 1.0
+
+    def test_empty_is_one(self):
+        assert measured_ratio(b"", LightZlibCodec()) == 1.0
+
+    def test_compressible_below_one(self):
+        assert measured_ratio(b"\x00" * 10_000, LightZlibCodec()) < 0.05
+
+    def test_mean_ratio_size_weighted(self):
+        # One compressible and one incompressible chunk; the big chunk
+        # must dominate the weighted mean.
+        import os
+
+        small_zeros = b"\x00" * 100
+        big_noise = os.urandom(100_000)
+        mean = mean_measured_ratio([small_zeros, big_noise], LightZlibCodec())
+        assert mean > 0.9
+
+    def test_mean_ratio_empty_iterable(self):
+        assert mean_measured_ratio([], LightZlibCodec()) == 1.0

@@ -1,0 +1,65 @@
+"""Tests for the Markov text model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.markov import MarkovTextModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MarkovTextModel(order=2)
+
+
+class TestMarkovTextModel:
+    def test_generates_requested_length(self, model):
+        rng = random.Random(0)
+        for n in (0, 1, 2, 500):
+            assert len(model.generate(n, rng)) == n
+
+    def test_deterministic_given_rng(self, model):
+        a = model.generate(400, random.Random(5))
+        b = model.generate(400, random.Random(5))
+        assert a == b
+
+    def test_output_is_english_like(self, model):
+        text = model.generate(4000, random.Random(1))
+        # Spaces roughly every 4-8 characters, as in prose.
+        words = text.split()
+        mean_len = sum(map(len, words)) / len(words)
+        assert 3 <= mean_len <= 9
+        # Vowels present at English-ish frequency.
+        vowels = sum(text.count(v) for v in "aeiou")
+        assert 0.2 <= vowels / len(text) <= 0.5
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            MarkovTextModel(order=0)
+
+    def test_short_training_text_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovTextModel(order=5, training_text="hi")
+
+    def test_custom_training_text(self):
+        model = MarkovTextModel(order=1, training_text="abababababab")
+        text = model.generate(50, random.Random(0))
+        assert set(text) <= {"a", "b"}
+
+    def test_dead_end_restarts(self):
+        # Training text whose final state never recurs: generation must
+        # not crash when it reaches the dead end.
+        model = MarkovTextModel(order=2, training_text="aaaaaaaaaaaaxy")
+        text = model.generate(100, random.Random(0))
+        assert len(text) == 100
+
+    def test_generate_bytes_ascii_with_newlines(self, model):
+        data = model.generate_bytes(1000, random.Random(2))
+        assert len(data) == 1000
+        assert all(b < 128 for b in data)
+        assert b"\n" in data
+
+    def test_n_states_positive(self, model):
+        assert model.n_states > 100

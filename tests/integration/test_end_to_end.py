@@ -1,0 +1,217 @@
+"""Cross-module integration tests.
+
+These pin the seams between subsystems: corpus → channels → codecs,
+controller ↔ scheme equivalence (the "one brain, two planes" property),
+and conservation laws through the whole simulated transfer stack.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptiveController, DecisionModel
+from repro.data import Compressibility, RepeatingSource, SyntheticCorpus
+from repro.nephele import (
+    ChannelSpec,
+    ChannelType,
+    CollectTask,
+    CompressionMode,
+    JobGraph,
+    SourceTask,
+    run_job,
+)
+from repro.schemes import EpochObservation, RateBasedScheme
+from repro.sim import (
+    ScenarioConfig,
+    make_dynamic_factory,
+    make_static_factory,
+    run_transfer_scenario,
+)
+
+GB = 10**9
+
+
+class TestOneBrainTwoPlanes:
+    """The paper's algorithm must behave identically no matter which
+    wrapper drives it: raw DecisionModel, AdaptiveController, or the
+    simulator-facing RateBasedScheme."""
+
+    RATES = [90e6, 120e6, 80e6, 85e6, 200e6, 190e6, 60e6, 90e6, 95e6, 91e6]
+
+    def test_model_vs_scheme_identical(self):
+        model = DecisionModel(4)
+        scheme = RateBasedScheme(4)
+        for i, rate in enumerate(self.RATES):
+            obs = EpochObservation(
+                now=float(i),
+                epoch_seconds=2.0,
+                app_rate=rate,
+                displayed_cpu_util=50.0,
+                displayed_bandwidth=1e6,
+            )
+            assert model.observe(rate) == scheme.on_epoch(obs)
+
+    def test_model_vs_controller_identical(self):
+        model = DecisionModel(4)
+        controller = AdaptiveController(n_levels=4, epoch_seconds=1.0)
+        now = 0.0
+        for rate in self.RATES:
+            now += 1.0
+            controller.record(int(rate))  # 1 second of bytes
+            record = controller.poll(now)
+            assert record is not None
+            assert model.observe(record.app_rate) == record.level_after
+
+
+class TestPipelineIntegrity:
+    @pytest.mark.parametrize("cls", list(Compressibility), ids=lambda c: c.value)
+    def test_corpus_through_nephele_adaptive_channel(self, cls):
+        corpus = SyntheticCorpus(file_size=64 * 1024, seed=13)
+        total = 600_000
+        graph = JobGraph("integrity")
+        collector = CollectTask(keep_data=True)
+        graph.add_vertex(
+            "send",
+            SourceTask(
+                lambda: RepeatingSource.from_corpus(cls, total, corpus),
+                record_bytes=8 * 1024,
+            ),
+        )
+        graph.add_vertex("recv", collector)
+        graph.connect(
+            "send",
+            "recv",
+            ChannelType.NETWORK,
+            ChannelSpec(
+                ChannelType.NETWORK,
+                compression=CompressionMode.ADAPTIVE,
+                block_size=16 * 1024,
+                epoch_seconds=0.05,
+            ),
+        )
+        run_job(graph, timeout=60)
+        received = b"".join(collector.collected)
+        expected = RepeatingSource.from_corpus(cls, total, corpus).read(total)
+        assert received == expected
+
+    def test_adaptive_file_roundtrip_across_level_changes(self, tmp_path):
+        """A stream whose compressibility flips mid-way must decode
+        correctly even though different blocks used different codecs."""
+        from repro.data import SwitchingSource
+        from repro.io import compress_file, decompress_file
+
+        corpus = SyntheticCorpus(file_size=64 * 1024, seed=14)
+        source = SwitchingSource.alternating(
+            Compressibility.HIGH, Compressibility.LOW, 200_000, 800_000, corpus
+        )
+        data = source.read(800_000)
+        src = tmp_path / "in.bin"
+        src.write_bytes(data)
+        packed = tmp_path / "out.abc"
+        restored = tmp_path / "back.bin"
+        compress_file(str(src), str(packed), block_size=32 * 1024, epoch_seconds=0.01)
+        decompress_file(str(packed), str(restored))
+        assert restored.read_bytes() == data
+
+
+class TestSimulationConservation:
+    def test_app_bytes_conserved(self):
+        cfg = ScenarioConfig(
+            scheme_factory=make_dynamic_factory(),
+            compressibility=Compressibility.MODERATE,
+            total_bytes=1 * GB,
+            n_background=2,
+            seed=3,
+        )
+        result = run_transfer_scenario(cfg)
+        assert result.total_app_bytes == pytest.approx(1 * GB)
+        epoch_bytes = sum(e.app_bytes for e in result.epochs)
+        assert epoch_bytes == pytest.approx(result.total_app_bytes, rel=0.01)
+
+    def test_wire_bytes_bounded_by_ratios(self):
+        """Wire volume must lie between the best ratio and 1+overhead."""
+        cfg = ScenarioConfig(
+            scheme_factory=make_dynamic_factory(),
+            compressibility=Compressibility.HIGH,
+            total_bytes=1 * GB,
+            n_background=0,
+            seed=4,
+        )
+        result = run_transfer_scenario(cfg)
+        ratio = result.total_wire_bytes / result.total_app_bytes
+        assert 0.07 <= ratio <= 1.001
+
+    def test_static_no_faster_when_link_widens(self):
+        """Monotonicity: less contention can never slow a transfer."""
+        times = []
+        for c in (3, 0):
+            cfg = ScenarioConfig(
+                scheme_factory=make_static_factory(0, "NO"),
+                compressibility=Compressibility.LOW,
+                total_bytes=1 * GB,
+                n_background=c,
+                seed=5,
+            )
+            times.append(run_transfer_scenario(cfg).completion_time)
+        assert times[1] < times[0]
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_any_seed_completes_and_conserves(self, seed):
+        cfg = ScenarioConfig(
+            scheme_factory=make_dynamic_factory(),
+            compressibility=Compressibility.MODERATE,
+            total_bytes=500_000_000,
+            n_background=1,
+            seed=seed,
+        )
+        result = run_transfer_scenario(cfg)
+        assert result.total_app_bytes == pytest.approx(500_000_000)
+        assert result.completion_time > 0
+        assert all(0 <= e.level <= 3 for e in result.epochs)
+
+
+class TestDeterminism:
+    def test_full_scenario_deterministic(self):
+        def run_once():
+            cfg = ScenarioConfig(
+                scheme_factory=make_dynamic_factory(),
+                compressibility=Compressibility.HIGH,
+                total_bytes=1 * GB,
+                n_background=2,
+                seed=99,
+            )
+            result = run_transfer_scenario(cfg)
+            return (
+                result.completion_time,
+                [e.level for e in result.epochs],
+                result.total_wire_bytes,
+            )
+
+        assert run_once() == run_once()
+
+    def test_adaptive_stream_deterministic_with_fake_clock(self):
+        def run_once():
+            corpus = SyntheticCorpus(file_size=32 * 1024, seed=21)
+            data = corpus.payload(Compressibility.MODERATE) * 8
+            clock_state = {"now": 0.0}
+
+            def clock():
+                clock_state["now"] += 0.01
+                return clock_state["now"]
+
+            from repro.core import AdaptiveBlockWriter
+
+            sink = io.BytesIO()
+            writer = AdaptiveBlockWriter(
+                sink, block_size=8 * 1024, epoch_seconds=0.1, clock=clock
+            )
+            writer.write(data)
+            writer.close()
+            return sink.getvalue()
+
+        assert run_once() == run_once()

@@ -1,0 +1,113 @@
+"""Failure-injection tests: corruption and truncation end to end."""
+
+from __future__ import annotations
+
+import io
+import socket
+import threading
+
+import pytest
+
+from repro.codecs import (
+    BlockReader,
+    BlockWriter,
+    CorruptBlockError,
+    LightZlibCodec,
+    TruncatedStreamError,
+    UnknownCodecError,
+)
+from repro.core import AdaptiveBlockWriter
+
+
+class TestWireCorruption:
+    def _packed_stream(self, payload=b"corruptible " * 400):
+        sink = io.BytesIO()
+        writer = BlockWriter(sink)
+        for offset in range(0, len(payload), 512):
+            writer.write_block(payload[offset : offset + 512], LightZlibCodec())
+        return sink.getvalue(), payload
+
+    def test_single_bitflip_detected(self):
+        raw, _ = self._packed_stream()
+        for position in (25, len(raw) // 2, len(raw) - 3):
+            corrupted = bytearray(raw)
+            corrupted[position] ^= 0x01
+            reader = BlockReader(io.BytesIO(bytes(corrupted)))
+            with pytest.raises(
+                (CorruptBlockError, TruncatedStreamError, UnknownCodecError)
+            ):
+                list(reader)
+
+    def test_clean_prefix_still_decodes(self):
+        """Corruption in block N must not prevent decoding blocks < N."""
+        raw, payload = self._packed_stream()
+        corrupted = bytearray(raw)
+        corrupted[-5] ^= 0xFF  # damage the last block's payload
+        reader = BlockReader(io.BytesIO(bytes(corrupted)))
+        decoded = []
+        with pytest.raises(CorruptBlockError):
+            for block in reader:
+                decoded.append(block)
+        assert b"".join(decoded) == payload[: len(b"".join(decoded))]
+        assert len(decoded) >= 1
+
+    def test_truncation_mid_payload(self):
+        raw, _ = self._packed_stream()
+        reader = BlockReader(io.BytesIO(raw[: len(raw) - 10]))
+        with pytest.raises(TruncatedStreamError):
+            list(reader)
+
+
+class TestSocketFailureSurfacing:
+    def test_receiver_error_propagates_to_caller(self):
+        """A corrupted wire stream must fail loudly, not quietly drop data."""
+        from repro.io.sockets import ReceiverThread
+
+        receiver = ReceiverThread()
+        receiver.start()
+        sock = socket.create_connection(receiver.address)
+        # A valid block followed by garbage that parses as a bad header.
+        sink = sock.makefile("wb")
+        writer = BlockWriter(sink)
+        writer.write_block(b"good block", LightZlibCodec())
+        sink.write(b"GARBAGE-NOT-A-HEADER-123")
+        sink.flush()
+        sink.close()
+        sock.close()
+        receiver.join(timeout=10)
+        assert not receiver.is_alive()
+        assert receiver.error is not None
+        assert receiver.bytes_received == len(b"good block")
+
+    def test_abrupt_disconnect_mid_block(self):
+        from repro.io.sockets import ReceiverThread
+        from repro.codecs.block import encode_block
+
+        receiver = ReceiverThread()
+        receiver.start()
+        sock = socket.create_connection(receiver.address)
+        frame = encode_block(b"x" * 100_000, LightZlibCodec()).frame
+        sock.sendall(frame[: len(frame) // 2])
+        sock.close()  # vanish mid-frame
+        receiver.join(timeout=10)
+        assert receiver.error is not None
+
+
+class TestWriterMisuse:
+    def test_interleaved_write_close_write(self):
+        sink = io.BytesIO()
+        writer = AdaptiveBlockWriter(sink, block_size=64, clock=lambda: 0.0)
+        writer.write(b"a" * 100)
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError):
+            writer.write(b"more")
+
+    def test_sink_failure_propagates(self):
+        class ExplodingSink:
+            def write(self, data):
+                raise OSError("disk full")
+
+        writer = AdaptiveBlockWriter(ExplodingSink(), block_size=16, clock=lambda: 0.0)
+        with pytest.raises(OSError, match="disk full"):
+            writer.write(b"z" * 64)

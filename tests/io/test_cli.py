@@ -1,0 +1,114 @@
+"""Tests for the repro-compress CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Compressibility, SyntheticCorpus
+from repro.io.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(file_size=64 * 1024, seed=31)
+
+
+@pytest.fixture()
+def sample_file(tmp_path, corpus):
+    path = tmp_path / "sample.bin"
+    path.write_bytes(corpus.payload(Compressibility.MODERATE) * 6)
+    return path
+
+
+class TestPackUnpack:
+    def test_adaptive_roundtrip(self, tmp_path, sample_file, capsys):
+        packed = tmp_path / "out.abc"
+        restored = tmp_path / "back.bin"
+        assert main(["pack", str(sample_file), str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert main(["unpack", str(packed), str(restored)]) == 0
+        assert restored.read_bytes() == sample_file.read_bytes()
+
+    @pytest.mark.parametrize("level", ["NO", "LIGHT", "MEDIUM", "HEAVY"])
+    def test_static_levels(self, tmp_path, sample_file, level):
+        packed = tmp_path / f"{level}.abc"
+        restored = tmp_path / f"{level}.bin"
+        assert main(["pack", str(sample_file), str(packed), "--level", level]) == 0
+        assert main(["unpack", str(packed), str(restored)]) == 0
+        assert restored.read_bytes() == sample_file.read_bytes()
+
+    def test_heavier_level_smaller_output(self, tmp_path, sample_file):
+        import os
+
+        sizes = {}
+        for level in ("LIGHT", "HEAVY"):
+            packed = tmp_path / f"{level}.abc"
+            main(["pack", str(sample_file), str(packed), "--level", level])
+            sizes[level] = os.path.getsize(packed)
+        assert sizes["HEAVY"] < sizes["LIGHT"]
+
+    def test_block_size_option(self, tmp_path, sample_file):
+        packed = tmp_path / "small-blocks.abc"
+        assert (
+            main(
+                ["pack", str(sample_file), str(packed), "--block-size", "4096"]
+            )
+            == 0
+        )
+
+    def test_missing_input(self, tmp_path, capsys):
+        rc = main(["pack", str(tmp_path / "ghost"), str(tmp_path / "out")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_reports_codecs(self, tmp_path, sample_file, capsys):
+        packed = tmp_path / "out.abc"
+        main(["pack", str(sample_file), str(packed), "--level", "MEDIUM"])
+        capsys.readouterr()
+        assert main(["info", str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "blocks" in out
+        assert "zlib-6" in out
+        assert "ratio" in out
+
+    def test_info_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.abc"
+        empty.write_bytes(b"")
+        assert main(["info", str(empty)]) == 0
+        assert "empty stream" in capsys.readouterr().out
+
+    def test_adaptive_on_fast_sink_prefers_no_compression(
+        self, tmp_path, sample_file, capsys
+    ):
+        """With an unthrottled local sink there is no bottleneck to
+        relieve, so the adaptive packer correctly stays at NO — the
+        scheme optimizes throughput, not size."""
+        packed = tmp_path / "fast.abc"
+        main(["pack", str(sample_file), str(packed), "--epoch-seconds", "0.01"])
+        capsys.readouterr()
+        main(["info", str(packed)])
+        out = capsys.readouterr().out
+        assert "null" in out
+
+    def test_info_shows_codec_mix(self, tmp_path, corpus, capsys):
+        """A stream whose blocks used different codecs (exactly what an
+        adaptive transfer produces) is itemized per codec."""
+        from repro.codecs import BlockWriter, LightZlibCodec, LzmaCodec, NullCodec
+
+        packed = tmp_path / "mixed.abc"
+        payload = corpus.payload(Compressibility.MODERATE)
+        with open(packed, "wb") as fp:
+            writer = BlockWriter(fp)
+            for codec in (NullCodec(), LightZlibCodec(), LzmaCodec(preset=4)):
+                for _ in range(3):
+                    writer.write_block(payload, codec)
+        assert main(["info", str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "null" in out
+        assert "zlib-1" in out
+        assert "lzma-4" in out
+        codec_lines = [l for l in out.splitlines() if l.startswith("  ")]
+        assert len(codec_lines) == 3

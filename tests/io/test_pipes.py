@@ -1,0 +1,122 @@
+"""Tests for bounded and throttled pipes."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.io import BoundedPipe, PipeClosedError, ThrottledPipe, TokenBucket
+
+
+class TestBoundedPipe:
+    def test_write_read_roundtrip(self):
+        pipe = BoundedPipe()
+        pipe.write(b"hello world")
+        assert pipe.read(5) == b"hello"
+        assert pipe.read(100) == b" world"
+
+    def test_eof_semantics(self):
+        pipe = BoundedPipe()
+        pipe.write(b"last")
+        pipe.close_write()
+        assert pipe.read(10) == b"last"
+        assert pipe.read(10) == b""
+        assert pipe.read(10) == b""
+
+    def test_read_blocks_until_data(self):
+        pipe = BoundedPipe()
+        result = {}
+
+        def reader():
+            result["data"] = pipe.read(3)
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        t.join(0.05)
+        assert t.is_alive()  # blocked
+        pipe.write(b"abc")
+        t.join(2.0)
+        assert result["data"] == b"abc"
+
+    def test_write_blocks_when_full(self):
+        pipe = BoundedPipe(capacity=4)
+        pipe.write(b"full")
+        done = threading.Event()
+
+        def writer():
+            pipe.write(b"more")
+            done.set()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        assert not done.wait(0.05)
+        assert pipe.read(4) == b"full"
+        assert done.wait(2.0)
+
+    def test_write_after_close_rejected(self):
+        pipe = BoundedPipe()
+        pipe.close_write()
+        with pytest.raises(PipeClosedError):
+            pipe.write(b"x")
+
+    def test_large_write_across_capacity(self):
+        pipe = BoundedPipe(capacity=10)
+        data = bytes(range(256)) * 4
+        received = bytearray()
+
+        def reader():
+            while True:
+                chunk = pipe.read(7)
+                if not chunk:
+                    return
+                received.extend(chunk)
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        pipe.write(data)
+        pipe.close_write()
+        t.join(5.0)
+        assert bytes(received) == data
+
+    def test_total_bytes(self):
+        pipe = BoundedPipe()
+        pipe.write(b"12345")
+        assert pipe.total_bytes == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedPipe(capacity=0)
+
+    def test_read_negative_returns_all(self):
+        pipe = BoundedPipe()
+        pipe.write(b"everything")
+        assert pipe.read(-1) == b"everything"
+
+
+class TestThrottledPipe:
+    def test_reads_paced_by_bucket(self):
+        class FT:
+            now = 0.0
+            slept = 0.0
+
+            def clock(self):
+                return self.now
+
+            def sleep(self, s):
+                self.now += s
+                self.slept += s
+
+        ft = FT()
+        bucket = TokenBucket(rate=100.0, capacity=10.0, clock=ft.clock, sleep=ft.sleep)
+        pipe = ThrottledPipe(bucket, capacity=1000)
+        pipe.write(b"x" * 110)
+        pipe.close_write()
+        out = bytearray()
+        while True:
+            chunk = pipe.read(50)
+            if not chunk:
+                break
+            out.extend(chunk)
+        assert len(out) == 110
+        assert ft.slept == pytest.approx(1.0, rel=0.05)

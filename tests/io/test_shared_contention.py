@@ -1,0 +1,107 @@
+"""Real-mode shared-I/O contention: flows sharing one token bucket.
+
+The thread-safe :class:`~repro.io.throttle.TokenBucket` doubles as a
+shared link: several writers paying tokens from the same bucket contend
+exactly like co-located VMs on one NIC.  These tests reproduce the
+paper's core effect — compression multiplies effective throughput on a
+contended link — on real bytes with real codecs.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+
+from repro.codecs import BlockReader
+from repro.core import AdaptiveBlockWriter, StaticBlockWriter
+from repro.data import Compressibility, SyntheticCorpus
+from repro.io import ThrottledWriter, TokenBucket
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(file_size=128 * 1024, seed=41)
+
+
+def run_contended_transfer(
+    corpus,
+    *,
+    adaptive: bool,
+    static_level: int = 0,
+    n_background: int = 2,
+    payload_bytes: int = 1_500_000,
+    link_rate: float = 8e6,
+):
+    """One foreground writer + background writers on a shared bucket."""
+    bucket = TokenBucket(rate=link_rate, capacity=256 * 1024)
+    stop = threading.Event()
+
+    def background():
+        sink = ThrottledWriter(io.BytesIO(), bucket)
+        junk = b"\xa5" * 8192
+        while not stop.is_set():
+            sink.write(junk)
+
+    threads = [
+        threading.Thread(target=background, daemon=True) for _ in range(n_background)
+    ]
+    for thread in threads:
+        thread.start()
+
+    payload = corpus.payload(Compressibility.HIGH)
+    raw_sink = io.BytesIO()
+    throttled = ThrottledWriter(raw_sink, bucket)
+    if adaptive:
+        writer = AdaptiveBlockWriter(
+            throttled, block_size=32 * 1024, epoch_seconds=0.05
+        )
+    else:
+        writer = StaticBlockWriter(throttled, static_level, block_size=32 * 1024)
+
+    import time
+
+    t0 = time.monotonic()
+    written = 0
+    while written < payload_bytes:
+        chunk = payload[written % len(payload) :][: 32 * 1024]
+        writer.write(chunk)
+        written += len(chunk)
+    writer.close()
+    elapsed = time.monotonic() - t0
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=5)
+
+    raw_sink.seek(0)
+    restored = b"".join(BlockReader(raw_sink))
+    assert len(restored) == written
+    return written / elapsed  # application bytes per second
+
+
+class TestRealSharedContention:
+    def test_background_flows_reduce_raw_throughput(self, corpus):
+        alone = run_contended_transfer(corpus, adaptive=False, n_background=0)
+        crowded = run_contended_transfer(corpus, adaptive=False, n_background=2)
+        assert crowded < 0.8 * alone
+
+    def test_compression_reclaims_contended_link(self, corpus):
+        """The paper's headline effect on real bytes: under contention,
+        adaptive compression multiplies the application rate.  The
+        short transfer still pays its start-up probing, so the bar here
+        is 1.6x; the asymptotic gain is ~1/ratio (>5x on this data)."""
+        raw = run_contended_transfer(corpus, adaptive=False, n_background=2)
+        compressed = run_contended_transfer(
+            corpus, adaptive=True, n_background=2, payload_bytes=2_500_000
+        )
+        assert compressed > 1.6 * raw
+
+    def test_static_light_also_wins_but_needs_choosing(self, corpus):
+        """LIGHT static matches adaptive here — the point of DYNAMIC is
+        that nobody had to know that in advance."""
+        light = run_contended_transfer(
+            corpus, adaptive=False, static_level=1, n_background=2
+        )
+        adaptive = run_contended_transfer(corpus, adaptive=True, n_background=2)
+        assert adaptive > 0.5 * light

@@ -1,0 +1,93 @@
+"""Tests for real socket transfer and file compression utilities."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data import Compressibility, RepeatingSource, SyntheticCorpus
+from repro.io import compress_file, decompress_file, run_socket_transfer
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(file_size=64 * 1024, seed=9)
+
+
+class TestSocketTransfer:
+    def test_adaptive_roundtrip(self, corpus):
+        src = RepeatingSource.from_corpus(Compressibility.HIGH, 1_500_000, corpus)
+        res = run_socket_transfer(src, block_size=32 * 1024, epoch_seconds=0.1)
+        assert res.app_bytes == 1_500_000
+        assert res.receiver_bytes == 1_500_000
+        assert res.wall_seconds > 0
+
+    def test_static_levels(self, corpus):
+        for level in range(4):
+            src = RepeatingSource.from_corpus(Compressibility.MODERATE, 300_000, corpus)
+            res = run_socket_transfer(src, static_level=level, block_size=32 * 1024)
+            assert res.receiver_bytes == 300_000
+            if level > 0:
+                assert res.compression_ratio < 0.7
+
+    def test_throttled_compressible_beats_wire_rate(self, corpus):
+        """With a slow 'link', compression lifts the application rate
+        above the wire rate — the paper's core effect, on real bytes."""
+        src = RepeatingSource.from_corpus(Compressibility.HIGH, 3_000_000, corpus)
+        res = run_socket_transfer(
+            src, rate_limit=3e6, block_size=32 * 1024, epoch_seconds=0.1
+        )
+        assert res.app_rate > 1.8 * 3e6
+
+    def test_adaptive_epochs_recorded(self, corpus):
+        src = RepeatingSource.from_corpus(Compressibility.HIGH, 2_000_000, corpus)
+        res = run_socket_transfer(
+            src, rate_limit=2e6, block_size=32 * 1024, epoch_seconds=0.02
+        )
+        assert len(res.epochs) >= 1
+        assert all(e.app_rate >= 0 for e in res.epochs)
+
+    def test_incompressible_falls_back_gracefully(self, corpus):
+        src = RepeatingSource.from_corpus(Compressibility.LOW, 1_000_000, corpus)
+        res = run_socket_transfer(src, static_level=1, block_size=32 * 1024)
+        # Stored-fallback caps the expansion at the header overhead.
+        assert res.compression_ratio < 1.01
+
+
+class TestFileCompression:
+    def test_roundtrip_adaptive(self, tmp_path, corpus):
+        src_path = tmp_path / "input.bin"
+        data = corpus.payload(Compressibility.MODERATE) * 4
+        src_path.write_bytes(data)
+        packed = tmp_path / "packed.abc"
+        restored = tmp_path / "restored.bin"
+
+        result = compress_file(str(src_path), str(packed), block_size=16 * 1024)
+        assert result.input_bytes == len(data)
+        assert result.output_bytes == os.path.getsize(packed)
+
+        n = decompress_file(str(packed), str(restored))
+        assert n == len(data)
+        assert restored.read_bytes() == data
+
+    def test_static_heavy_smaller_than_light(self, tmp_path, corpus):
+        data = corpus.payload(Compressibility.MODERATE) * 4
+        src_path = tmp_path / "input.bin"
+        src_path.write_bytes(data)
+        sizes = {}
+        for level in (1, 3):
+            out = tmp_path / f"out{level}.abc"
+            res = compress_file(str(src_path), str(out), static_level=level)
+            sizes[level] = res.output_bytes
+        assert sizes[3] < sizes[1]
+
+    def test_empty_file(self, tmp_path):
+        src_path = tmp_path / "empty.bin"
+        src_path.write_bytes(b"")
+        packed = tmp_path / "empty.abc"
+        restored = tmp_path / "restored.bin"
+        result = compress_file(str(src_path), str(packed))
+        assert result.input_bytes == 0
+        assert decompress_file(str(packed), str(restored)) == 0
+        assert restored.read_bytes() == b""

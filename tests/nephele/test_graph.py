@@ -1,0 +1,108 @@
+"""Tests for job-graph construction and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nephele import (
+    ChannelSpec,
+    ChannelType,
+    CollectTask,
+    JobGraph,
+    JobGraphError,
+    MapTask,
+    SourceTask,
+)
+from repro.data import Compressibility, RepeatingSource
+
+
+def src_task():
+    return SourceTask(lambda: RepeatingSource(b"x", 10, Compressibility.LOW))
+
+
+class TestConstruction:
+    def test_add_and_connect(self):
+        g = JobGraph("j")
+        g.add_vertex("a", src_task())
+        g.add_vertex("b", CollectTask())
+        edge = g.connect("a", "b")
+        assert edge.name == "a->b"
+        assert g.vertex("a").outputs == [edge]
+        assert g.vertex("b").inputs == [edge]
+
+    def test_duplicate_vertex_rejected(self):
+        g = JobGraph()
+        g.add_vertex("a", src_task())
+        with pytest.raises(JobGraphError, match="duplicate"):
+            g.add_vertex("a", CollectTask())
+
+    def test_unknown_vertex_rejected(self):
+        g = JobGraph()
+        g.add_vertex("a", src_task())
+        with pytest.raises(JobGraphError, match="unknown"):
+            g.connect("a", "ghost")
+
+    def test_self_loop_rejected(self):
+        g = JobGraph()
+        g.add_vertex("a", src_task())
+        with pytest.raises(JobGraphError, match="self-loop"):
+            g.connect("a", "a")
+
+    def test_spec_type_conflict_rejected(self):
+        g = JobGraph()
+        g.add_vertex("a", src_task())
+        g.add_vertex("b", CollectTask())
+        with pytest.raises(JobGraphError, match="conflicts"):
+            g.connect(
+                "a", "b", ChannelType.FILE, spec=ChannelSpec(ChannelType.IN_MEMORY)
+            )
+
+
+class TestValidation:
+    def test_topological_order_linear(self):
+        g = JobGraph()
+        for name in "abc":
+            g.add_vertex(name, MapTask(lambda r: r))
+        g.connect("a", "b")
+        g.connect("b", "c")
+        assert [v.name for v in g.topological_order()] == ["a", "b", "c"]
+
+    def test_diamond(self):
+        g = JobGraph()
+        for name in "abcd":
+            g.add_vertex(name, MapTask(lambda r: r))
+        g.connect("a", "b")
+        g.connect("a", "c")
+        g.connect("b", "d")
+        g.connect("c", "d")
+        order = [v.name for v in g.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        g = JobGraph()
+        for name in "abc":
+            g.add_vertex(name, MapTask(lambda r: r))
+        g.connect("a", "b")
+        g.connect("b", "c")
+        g.connect("c", "a")
+        with pytest.raises(JobGraphError, match="cycle"):
+            g.topological_order()
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(JobGraphError, match="empty"):
+            JobGraph().validate()
+
+    def test_disconnected_vertex_invalid(self):
+        g = JobGraph()
+        g.add_vertex("a", src_task())
+        g.add_vertex("b", CollectTask())
+        g.add_vertex("island", CollectTask())
+        g.connect("a", "b")
+        with pytest.raises(JobGraphError, match="disconnected"):
+            g.validate()
+
+    def test_single_vertex_graph_is_valid(self):
+        g = JobGraph()
+        g.add_vertex("only", CollectTask())
+        g.validate()

@@ -1,0 +1,112 @@
+"""Tests for the built-in tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Compressibility, RepeatingSource
+from repro.nephele import (
+    BatchTask,
+    CollectTask,
+    FilterTask,
+    InMemoryChannel,
+    JobGraph,
+    MapTask,
+    MergeTask,
+    SourceTask,
+    TaskContext,
+    run_job,
+)
+
+
+def run_task(task, records, n_outputs=1):
+    """Drive a task directly with in-memory channels."""
+    inp = InMemoryChannel()
+    for record in records:
+        inp.write_record(record)
+    inp.close_write()
+    outs = [InMemoryChannel() for _ in range(n_outputs)]
+    task.run(TaskContext("t", [inp], outs))
+    for out in outs:
+        out.close_write()
+    return [list(out) for out in outs]
+
+
+class TestSourceTask:
+    def test_emits_in_record_sized_chunks(self):
+        task = SourceTask(
+            lambda: RepeatingSource(b"abcd", 10, Compressibility.LOW), record_bytes=4
+        )
+        out = InMemoryChannel()
+        task.run(TaskContext("s", [], [out]))
+        out.close_write()
+        assert list(out) == [b"abcd", b"abcd", b"ab"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourceTask(lambda: None, record_bytes=0)
+
+
+class TestFilterTask:
+    def test_predicate_applied(self):
+        task = FilterTask(lambda r: r.startswith(b"keep"))
+        (out,) = run_task(task, [b"keep-1", b"drop-1", b"keep-2"])
+        assert out == [b"keep-1", b"keep-2"]
+        assert task.records_dropped == 1
+
+
+class TestBatchTask:
+    def test_batches_to_target_size(self):
+        task = BatchTask(batch_bytes=10)
+        (out,) = run_task(task, [b"aaa"] * 7)  # 21 bytes total
+        assert b"".join(out) == b"aaa" * 7
+        assert all(len(batch) >= 10 for batch in out[:-1])
+
+    def test_flushes_tail(self):
+        task = BatchTask(batch_bytes=100)
+        (out,) = run_task(task, [b"tiny"])
+        assert out == [b"tiny"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchTask(batch_bytes=0)
+
+
+class TestMergeTask:
+    def test_drains_inputs_in_order(self):
+        in1, in2 = InMemoryChannel(), InMemoryChannel()
+        for record in (b"a1", b"a2"):
+            in1.write_record(record)
+        in2.write_record(b"b1")
+        in1.close_write()
+        in2.close_write()
+        out = InMemoryChannel()
+        MergeTask().run(TaskContext("m", [in1, in2], [out]))
+        out.close_write()
+        assert list(out) == [b"a1", b"a2", b"b1"]
+
+    def test_fan_in_job(self):
+        graph = JobGraph("fanin")
+        collector = CollectTask(keep_data=True)
+        graph.add_vertex(
+            "s1",
+            SourceTask(lambda: RepeatingSource(b"x", 4, Compressibility.LOW), record_bytes=2),
+        )
+        graph.add_vertex(
+            "s2",
+            SourceTask(lambda: RepeatingSource(b"y", 4, Compressibility.LOW), record_bytes=2),
+        )
+        graph.add_vertex("merge", MergeTask())
+        graph.add_vertex("sink", collector)
+        graph.connect("s1", "merge")
+        graph.connect("s2", "merge")
+        graph.connect("merge", "sink")
+        run_job(graph, timeout=30)
+        assert sorted(collector.collected) == [b"xx", b"xx", b"yy", b"yy"]
+
+
+class TestMapTask:
+    def test_none_drops_record(self):
+        task = MapTask(lambda r: r if r != b"skip" else None)
+        (out,) = run_task(task, [b"a", b"skip", b"b"])
+        assert out == [b"a", b"b"]

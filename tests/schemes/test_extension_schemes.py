@@ -1,0 +1,142 @@
+"""Tests for the extension schemes (EWMA filter, per-level memory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemes import EpochObservation, MemoryRateScheme, SmoothedRateScheme
+
+MB = 1e6
+
+
+def obs(rate, now=2.0):
+    return EpochObservation(
+        now=now,
+        epoch_seconds=2.0,
+        app_rate=rate,
+        displayed_cpu_util=50.0,
+        displayed_bandwidth=90 * MB,
+    )
+
+
+class TestSmoothedRateScheme:
+    def test_name_and_levels(self):
+        s = SmoothedRateScheme(4)
+        assert s.name == "DYNAMIC-EWMA"
+        assert s.current_level == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmoothedRateScheme(4, smoothing=0.0)
+        with pytest.raises(ValueError):
+            SmoothedRateScheme(4, smoothing=1.5)
+
+    def test_smoothing_damps_single_outlier(self):
+        """While the measurement level stays put, an outlier epoch
+        moves the filtered rate by exactly the smoothing weight."""
+        s = SmoothedRateScheme(4, smoothing=0.25)
+        # Seed the filter state as if previous epochs ran at this level.
+        s._ewma = 100 * MB
+        s._last_measured_level = s.model.current_level
+        s.on_epoch(obs(500 * MB))  # outlier epoch
+        assert s._ewma == pytest.approx(0.25 * 500 * MB + 0.75 * 100 * MB)
+
+    def test_filter_resets_on_level_change(self):
+        s = SmoothedRateScheme(4, smoothing=0.1)
+        lvl0 = s.current_level
+        s.on_epoch(obs(100 * MB))
+        assert s.current_level != lvl0  # first call probes
+        # The next observation must be taken (nearly) raw.
+        s.on_epoch(obs(500 * MB))
+        assert s._ewma == pytest.approx(500 * MB)
+
+    def test_converges_like_raw_on_clean_rates(self):
+        rates = {0: 90.0, 1: 200.0, 2: 150.0, 3: 27.0}
+        s = SmoothedRateScheme(4)
+        lvl = 0
+        seq = []
+        for _ in range(60):
+            lvl = s.on_epoch(obs(rates[lvl]))
+            seq.append(lvl)
+        assert seq[-1] == 1
+        assert seq.count(1) > 40
+
+
+class TestMemoryRateScheme:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryRateScheme(4, margin=-0.1)
+        with pytest.raises(ValueError):
+            MemoryRateScheme(4, ema_weight=0.0)
+        with pytest.raises(ValueError):
+            MemoryRateScheme(4, estimate_ttl_epochs=0)
+
+    def test_probes_unknown_neighbours_first(self):
+        s = MemoryRateScheme(4)
+        lvl = s.on_epoch(obs(100 * MB))
+        assert lvl != 0  # unknown neighbour probed immediately
+
+    def test_converges_to_best_level(self):
+        rates = {0: 90.0, 1: 200.0, 2: 150.0, 3: 27.0}
+        s = MemoryRateScheme(4)
+        lvl = 0
+        seq = []
+        for _ in range(80):
+            lvl = s.on_epoch(obs(rates[lvl] * MB))
+            seq.append(lvl)
+        assert seq[-1] == 1
+        assert seq.count(1) > 50
+
+    def test_transient_dip_does_not_ratchet(self):
+        """The failure mode of the raw scheme: a one-epoch dip at the
+        good level must not hand the worse neighbour a lasting win."""
+        s = MemoryRateScheme(4)
+        lvl = 0
+        rates = {0: 90.0, 1: 200.0, 2: 150.0, 3: 27.0}
+        # Converge to level 1 first.
+        for _ in range(20):
+            lvl = s.on_epoch(obs(rates[lvl] * MB))
+        assert lvl == 1
+        # One deep dip (link outage) at level 1.
+        lvl = s.on_epoch(obs(20 * MB))
+        # Continue with honest rates; within a few epochs it is back at 1
+        # and stays.
+        tail = []
+        for _ in range(12):
+            lvl = s.on_epoch(obs(rates[lvl] * MB))
+            tail.append(lvl)
+        assert tail[-1] == 1
+        assert tail.count(1) >= 8
+
+    def test_level_always_valid(self):
+        import random
+
+        rng = random.Random(0)
+        s = MemoryRateScheme(4)
+        for _ in range(300):
+            lvl = s.on_epoch(obs(rng.uniform(0, 300) * MB))
+            assert 0 <= lvl < 4
+
+    def test_moves_single_step(self):
+        import random
+
+        rng = random.Random(1)
+        s = MemoryRateScheme(4)
+        prev = s.current_level
+        for _ in range(200):
+            lvl = s.on_epoch(obs(rng.uniform(0, 300) * MB))
+            assert abs(lvl - prev) <= 1
+            prev = lvl
+
+    def test_stale_estimates_reprobed(self):
+        s = MemoryRateScheme(4, estimate_ttl_epochs=3)
+        rates = {0: 90.0, 1: 200.0, 2: 150.0, 3: 27.0}
+        lvl = 0
+        visits_to_2 = 0
+        for _ in range(60):
+            new = s.on_epoch(obs(rates[lvl] * MB))
+            if new == 2 and lvl != 2:
+                visits_to_2 += 1
+            lvl = new
+        # Level 2's estimate keeps going stale, so it keeps being probed.
+        assert visits_to_2 >= 3

@@ -1,0 +1,162 @@
+"""Tests for the decision-scheme zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemes import (
+    EpochObservation,
+    QueueBasedScheme,
+    RateBasedScheme,
+    ResourceBasedScheme,
+    StaticScheme,
+    ThresholdScheme,
+    TrainedLevel,
+)
+
+MB = 1e6
+
+
+def obs(
+    app_rate=50 * MB,
+    cpu=20.0,
+    bw=90 * MB,
+    queue_slope=0.0,
+    now=2.0,
+):
+    return EpochObservation(
+        now=now,
+        epoch_seconds=2.0,
+        app_rate=app_rate,
+        displayed_cpu_util=cpu,
+        displayed_bandwidth=bw,
+        queue_slope=queue_slope,
+    )
+
+
+class TestStaticScheme:
+    def test_never_moves(self):
+        s = StaticScheme(4, 2)
+        for rate in (1.0, 100.0, 1e9):
+            assert s.on_epoch(obs(app_rate=rate)) == 2
+        assert s.current_level == 2
+
+    def test_name_default_and_custom(self):
+        assert StaticScheme(4, 1).name == "STATIC-1"
+        assert StaticScheme(4, 1, name="LIGHT").name == "LIGHT"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticScheme(4, 4)
+        with pytest.raises(ValueError):
+            StaticScheme(0, 0)
+
+
+class TestRateBasedScheme:
+    def test_uses_only_app_rate(self):
+        """Identical app rates with wildly different displayed metrics
+        must produce identical decisions."""
+        a = RateBasedScheme(4)
+        b = RateBasedScheme(4)
+        rates = [90.0, 120.0, 80.0, 80.0, 95.0, 60.0]
+        decisions_a = [a.on_epoch(obs(app_rate=r, cpu=5.0, bw=1e9)) for r in rates]
+        decisions_b = [b.on_epoch(obs(app_rate=r, cpu=99.0, bw=1.0)) for r in rates]
+        assert decisions_a == decisions_b
+
+    def test_name_is_dynamic(self):
+        assert RateBasedScheme(4).name == "DYNAMIC"
+
+    def test_delegates_to_decision_model(self):
+        s = RateBasedScheme(4)
+        lvl = s.on_epoch(obs(app_rate=100.0))
+        assert lvl == s.model.current_level == s.current_level == 1
+
+
+class TestResourceBasedScheme:
+    TRAINING = [
+        TrainedLevel(comp_speed=float("inf"), ratio=1.0),
+        TrainedLevel(comp_speed=200 * MB, ratio=0.2),
+        TrainedLevel(comp_speed=140 * MB, ratio=0.12),
+        TrainedLevel(comp_speed=25 * MB, ratio=0.08),
+    ]
+
+    def test_picks_light_with_honest_metrics(self):
+        s = ResourceBasedScheme(self.TRAINING)
+        # Honest: CPU mostly idle, true bandwidth 90 MB/s.
+        # NO -> 90; LIGHT -> min(180, 450) = 180: LIGHT wins.
+        lvl = s.on_epoch(obs(cpu=10.0, bw=90 * MB))
+        assert lvl == 1
+
+    def test_skewed_idle_cpu_causes_overcompression(self):
+        """The Section II failure mode: VM displays ~idle CPU while the
+        host is saturated, and displayed bandwidth collapses (caching /
+        fluctuation artifact) -> scheme picks heavy compression."""
+        s = ResourceBasedScheme(self.TRAINING, smoothing=1.0)
+        lvl = s.on_epoch(obs(cpu=5.0, bw=2 * MB))
+        # With 2 MB/s displayed bandwidth: NO->2, LIGHT->10, MEDIUM->16.7,
+        # HEAVY->min(23.8, 25) = 23.8: HEAVY wins despite being awful.
+        assert lvl == 3
+
+    def test_busy_cpu_discourages_compression(self):
+        s = ResourceBasedScheme(self.TRAINING, smoothing=1.0)
+        lvl = s.on_epoch(obs(cpu=100.0, bw=90 * MB))
+        assert lvl == 0  # no CPU left: predicted comp rate 0
+
+    def test_bandwidth_smoothing(self):
+        s = ResourceBasedScheme(self.TRAINING, smoothing=0.5)
+        s.on_epoch(obs(bw=100 * MB))
+        s.on_epoch(obs(bw=0.0))
+        assert s._bw_estimate == pytest.approx(50 * MB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceBasedScheme(self.TRAINING, initial_level=9)
+        with pytest.raises(ValueError):
+            ResourceBasedScheme(self.TRAINING, smoothing=0.0)
+
+
+class TestQueueBasedScheme:
+    def test_growing_queue_raises_level(self):
+        s = QueueBasedScheme(4, threshold=1 * MB)
+        assert s.on_epoch(obs(queue_slope=5 * MB)) == 1
+        assert s.on_epoch(obs(queue_slope=5 * MB)) == 2
+
+    def test_draining_queue_lowers_level(self):
+        s = QueueBasedScheme(4, threshold=1 * MB, initial_level=3)
+        assert s.on_epoch(obs(queue_slope=-5 * MB)) == 2
+
+    def test_stable_queue_keeps_level(self):
+        s = QueueBasedScheme(4, threshold=1 * MB, initial_level=2)
+        assert s.on_epoch(obs(queue_slope=0.5 * MB)) == 2
+
+    def test_clamped_at_bounds(self):
+        s = QueueBasedScheme(4, threshold=1 * MB, initial_level=3)
+        assert s.on_epoch(obs(queue_slope=99 * MB)) == 3
+        s2 = QueueBasedScheme(4, threshold=1 * MB, initial_level=0)
+        assert s2.on_epoch(obs(queue_slope=-99 * MB)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueBasedScheme(4, threshold=-1)
+
+
+class TestThresholdScheme:
+    def test_bands(self):
+        s = ThresholdScheme(cutoffs=[80 * MB, 40 * MB, 10 * MB])
+        assert s.n_levels == 4
+        assert s.on_epoch(obs(bw=90 * MB)) == 0
+        assert s.on_epoch(obs(bw=50 * MB)) == 1
+        assert s.on_epoch(obs(bw=20 * MB)) == 2
+        assert s.on_epoch(obs(bw=1 * MB)) == 3
+
+    def test_boundary_inclusive(self):
+        s = ThresholdScheme(cutoffs=[80 * MB])
+        assert s.on_epoch(obs(bw=80 * MB)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdScheme(cutoffs=[])
+        with pytest.raises(ValueError):
+            ThresholdScheme(cutoffs=[10.0, 20.0])  # ascending
+        with pytest.raises(ValueError):
+            ThresholdScheme(cutoffs=[10.0, 10.0])  # duplicate

@@ -1,0 +1,148 @@
+"""Tests keeping the codec simulation model honest.
+
+The simulator prices compression with constants; these tests cross-check
+those constants against (a) the paper's Table II arithmetic and (b) the
+actual Python codecs on the actual synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.codecs import LightZlibCodec, LzmaCodec, MediumZlibCodec
+from repro.data import Compressibility, generate
+from repro.sim import CODEC_MODEL, CodecPoint, CodecSimModel, cpu_available
+from repro.sim.calibration import LEVEL_NAMES, LINK_APP_CAPACITY
+
+
+class TestModelStructure:
+    def test_complete_table(self):
+        model = CodecSimModel()
+        assert model.n_levels == 4
+        for level in range(4):
+            for cls in Compressibility:
+                assert model.point(level, cls) is not None
+
+    def test_missing_point_rejected(self):
+        table = dict(CODEC_MODEL)
+        del table[("HEAVY", Compressibility.LOW)]
+        with pytest.raises(ValueError):
+            CodecSimModel(table)
+
+    def test_no_level_is_free_and_lossless(self):
+        model = CodecSimModel()
+        for cls in Compressibility:
+            pt = model.point(0, cls)
+            assert math.isinf(pt.comp_speed)
+            assert pt.ratio == 1.0
+
+    def test_wire_ratio_adds_header_overhead(self):
+        pt = CodecPoint(comp_speed=1e6, ratio=0.5, decomp_speed=1e6)
+        assert pt.wire_ratio > 0.5
+        assert pt.wire_ratio == pytest.approx(0.5 + 20 / (128 * 1024))
+
+    def test_wire_ratio_capped_for_incompressible(self):
+        pt = CodecPoint(comp_speed=1e6, ratio=1.0, decomp_speed=1e6)
+        assert pt.wire_ratio == pytest.approx(1.0 + 20 / (128 * 1024))
+
+
+class TestPaperArithmetic:
+    """Speeds must reproduce Table II's zero-concurrency column."""
+
+    PAPER_SECONDS = {
+        # (level, class) -> completion seconds in Table II, 0 connections
+        ("LIGHT", Compressibility.HIGH): 252,
+        ("LIGHT", Compressibility.MODERATE): 629,
+        ("LIGHT", Compressibility.LOW): 688,
+        ("MEDIUM", Compressibility.HIGH): 347,
+        ("MEDIUM", Compressibility.MODERATE): 795,
+        ("MEDIUM", Compressibility.LOW): 1095,
+        ("HEAVY", Compressibility.HIGH): 1881,
+        ("HEAVY", Compressibility.MODERATE): 5760,
+        ("HEAVY", Compressibility.LOW): 9011,
+    }
+
+    @pytest.mark.parametrize("key", list(PAPER_SECONDS))
+    def test_speed_matches_table2(self, key):
+        pt = CODEC_MODEL[key]
+        implied = 50e9 / self.PAPER_SECONDS[key] / 1e9  # GB/s
+        assert pt.comp_speed / 1e9 == pytest.approx(implied, rel=0.05)
+
+    def test_link_capacity_matches_no_row(self):
+        assert LINK_APP_CAPACITY == pytest.approx(50e9 / 567, rel=0.05)
+
+
+class TestRatiosMatchRealCodecs:
+    """Model ratios vs the shipped codecs on the synthetic corpus."""
+
+    CODECS = {
+        "LIGHT": LightZlibCodec(),
+        "MEDIUM": MediumZlibCodec(),
+        "HEAVY": LzmaCodec(preset=4),
+    }
+
+    @pytest.mark.parametrize("level_name", ["LIGHT", "MEDIUM", "HEAVY"])
+    @pytest.mark.parametrize("cls", list(Compressibility))
+    def test_ratio_within_tolerance(self, level_name, cls):
+        payload = generate(cls, 256 * 1024, seed=5)
+        measured = len(self.CODECS[level_name].compress(payload)) / len(payload)
+        modeled = CODEC_MODEL[(level_name, cls)].ratio
+        assert modeled == pytest.approx(measured, abs=0.06), (
+            f"{level_name}/{cls}: model {modeled} vs measured {measured}"
+        )
+
+
+class TestModelMonotonicity:
+    """Structural sanity of the trade-off ladder."""
+
+    def test_speed_decreases_with_level(self):
+        for cls in Compressibility:
+            speeds = [CODEC_MODEL[(n, cls)].comp_speed for n in LEVEL_NAMES]
+            assert all(a > b for a, b in zip(speeds, speeds[1:]))
+
+    def test_ratio_improves_with_level_on_compressible(self):
+        for cls in (Compressibility.HIGH, Compressibility.MODERATE):
+            ratios = [CODEC_MODEL[(n, cls)].ratio for n in LEVEL_NAMES]
+            assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_heavier_is_not_better_on_incompressible(self):
+        """'the assumption that a higher compression level will lead to
+        higher compression ratio ... is not always true, e.g., when the
+        data is not compressible' (Section V) — LZMA actually does
+        worse than zlib on the LOW class."""
+        low = Compressibility.LOW
+        assert (
+            CODEC_MODEL[("HEAVY", low)].ratio > CODEC_MODEL[("MEDIUM", low)].ratio
+        )
+
+    def test_decompression_faster_than_compression(self):
+        """Receiver must never be the pipeline bottleneck."""
+        for (name, cls), pt in CODEC_MODEL.items():
+            if name != "NO":
+                assert pt.decomp_speed > pt.comp_speed
+
+    def test_contention_sensitivity_decreases_with_level(self):
+        """The fast, memory-hungry codec suffers most from neighbours."""
+        for cls in Compressibility:
+            sens = [
+                CODEC_MODEL[(n, cls)].contention_sensitivity
+                for n in ("LIGHT", "MEDIUM", "HEAVY")
+            ]
+            assert sens[0] > sens[1] > sens[2]
+
+
+class TestCpuAvailable:
+    def test_no_background_full_cpu(self):
+        assert cpu_available(0) == 1.0
+
+    def test_loss_per_flow(self):
+        assert cpu_available(3, loss_per_flow=0.02) == pytest.approx(0.94)
+
+    def test_floor(self):
+        assert cpu_available(1000) == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cpu_available(-1)

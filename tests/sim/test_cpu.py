@@ -1,0 +1,101 @@
+"""Tests for CPU accounting (cost vectors, ledgers, utilization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import CATEGORIES, CostVector, CpuLedger, DualLedger, utilization
+
+
+class TestCostVector:
+    def test_total(self):
+        v = CostVector(usr=1.0, sys=2.0, hirq=0.5, sirq=0.25, steal=0.25)
+        assert v.total == 4.0
+
+    def test_scaled(self):
+        v = CostVector(usr=1.0, sys=2.0).scaled(0.5)
+        assert v.usr == 0.5
+        assert v.sys == 1.0
+
+    def test_from_utilization_roundtrip(self):
+        rate = 90e6  # bytes/s
+        v = CostVector.from_utilization({"SYS": 40.0, "SIRQ": 10.0}, rate)
+        # Charging one second's worth of bytes must reproduce the target.
+        ledger = CpuLedger()
+        ledger.charge(v, rate)
+        assert ledger.seconds["SYS"] == pytest.approx(0.40)
+        assert ledger.seconds["SIRQ"] == pytest.approx(0.10)
+
+    def test_from_utilization_validation(self):
+        with pytest.raises(ValueError):
+            CostVector.from_utilization({"SYS": 10.0}, 0.0)
+        with pytest.raises(ValueError):
+            CostVector.from_utilization({"BOGUS": 10.0}, 1e6)
+
+
+class TestCpuLedger:
+    def test_charge_accumulates(self):
+        ledger = CpuLedger()
+        v = CostVector(usr=1e-9, sys=2e-9)
+        ledger.charge(v, 1e9)
+        ledger.charge(v, 1e9)
+        assert ledger.seconds["USR"] == pytest.approx(2.0)
+        assert ledger.seconds["SYS"] == pytest.approx(4.0)
+        assert ledger.total() == pytest.approx(6.0)
+
+    def test_charge_seconds(self):
+        ledger = CpuLedger()
+        ledger.charge_seconds("USR", 1.5)
+        assert ledger.seconds["USR"] == 1.5
+        with pytest.raises(ValueError):
+            ledger.charge_seconds("NOPE", 1.0)
+        with pytest.raises(ValueError):
+            ledger.charge_seconds("USR", -1.0)
+
+    def test_snapshot_is_copy(self):
+        ledger = CpuLedger()
+        snap = ledger.snapshot()
+        snap["USR"] = 99.0
+        assert ledger.seconds["USR"] == 0.0
+
+
+class TestDualLedger:
+    def test_host_includes_vm_plus_extra(self):
+        dual = DualLedger()
+        vm_cost = CostVector(sys=1e-9)
+        extra = CostVector(sys=9e-9)
+        dual.charge_io(vm_cost, extra, 1e9)
+        assert dual.vm.seconds["SYS"] == pytest.approx(1.0)
+        assert dual.host.seconds["SYS"] == pytest.approx(10.0)
+
+    def test_compute_visible_in_both(self):
+        dual = DualLedger()
+        dual.charge_compute(2.0)
+        assert dual.vm.seconds["USR"] == 2.0
+        assert dual.host.seconds["USR"] == 2.0
+
+    def test_discrepancy_factor_scenario(self):
+        """The paper's factor-15 case: VM sees 7 %, host sees 105 %."""
+        rate = 90e6
+        dual = DualLedger()
+        vm_cost = CostVector.from_utilization({"SYS": 5.0, "SIRQ": 2.0}, rate)
+        extra = CostVector.from_utilization({"SYS": 78.0, "SIRQ": 20.0}, rate)
+        dual.charge_io(vm_cost, extra, rate * 10)  # 10 s of traffic
+        vm_total = dual.vm.total()
+        host_total = dual.host.total()
+        assert host_total / vm_total == pytest.approx(15.0, rel=0.01)
+
+
+class TestUtilization:
+    def test_basic(self):
+        before = {cat: 0.0 for cat in CATEGORIES}
+        after = dict(before, USR=0.5, SYS=0.25)
+        pct = utilization(before, after, interval=1.0)
+        assert pct["USR"] == 50.0
+        assert pct["SYS"] == 25.0
+        assert pct["STEAL"] == 0.0
+
+    def test_interval_validation(self):
+        snap = {cat: 0.0 for cat in CATEGORIES}
+        with pytest.raises(ValueError):
+            utilization(snap, snap, 0.0)

@@ -1,0 +1,161 @@
+"""Tests for disk models, especially the XEN write-back cache artifact."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import CachedDisk, DiskCacheParams, Environment, PlainDisk
+
+
+def make_cached(env, absorb=700.0, drain=80.0, high=3000.0, low=800.0, sigma=0.0):
+    params = DiskCacheParams(
+        absorb_rate=absorb, drain_rate=drain, high_watermark=high, low_watermark=low
+    )
+    return CachedDisk(env, params, random.Random(0), jitter_sigma=sigma)
+
+
+class TestPlainDisk:
+    def test_write_time_matches_rate(self):
+        env = Environment()
+        disk = PlainDisk(env, rate=100.0, rng=random.Random(0), jitter_sigma=0.0)
+
+        def proc():
+            yield from disk.write(500.0)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(5.0)
+        assert disk.bytes_written == 500.0
+
+    def test_read(self):
+        env = Environment()
+        disk = PlainDisk(env, rate=100.0, rng=random.Random(0), jitter_sigma=0.0)
+
+        def proc():
+            yield from disk.read(200.0)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(2.0)
+        assert disk.bytes_read == 200.0
+
+    def test_jitter_varies_rate(self):
+        env = Environment()
+        disk = PlainDisk(env, rate=100.0, rng=random.Random(1), jitter_sigma=0.2)
+        durations = []
+
+        def proc():
+            for _ in range(20):
+                t0 = env.now
+                yield from disk.write(100.0)
+                durations.append(env.now - t0)
+
+        env.run_process(proc())
+        assert len(set(round(d, 6) for d in durations)) > 5
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            PlainDisk(env, rate=0.0, rng=random.Random(0))
+        disk = PlainDisk(env, rate=10.0, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            env.run_process(disk.write(-1))
+
+
+class TestCachedDisk:
+    def test_fast_absorption_below_watermark(self):
+        env = Environment()
+        disk = make_cached(env)
+
+        def proc():
+            yield from disk.write(1000.0)
+            return env.now
+
+        duration = env.run_process(proc())
+        # Absorbed at ~700 B/s, far faster than the 80 B/s disk.
+        assert duration == pytest.approx(1000.0 / 700.0, rel=0.01)
+
+    def test_stall_at_high_watermark(self):
+        env = Environment()
+        disk = make_cached(env, high=1000.0, low=200.0)
+        marks = []
+
+        def proc():
+            # Fill to the watermark, then write more: must stall.
+            yield from disk.write(1000.0)
+            marks.append(env.now)
+            yield from disk.write(100.0)
+            marks.append(env.now)
+
+        env.run_process(proc())
+        fill_end, after_stall = marks
+        # The second write waited for the drain to the low watermark.
+        assert after_stall - fill_end > 5.0
+
+    def test_displayed_rate_bimodal(self):
+        """Fast samples during absorption, near-zero during stalls —
+        the exact Figure 3 artifact."""
+        env = Environment()
+        disk = make_cached(env, high=1000.0, low=200.0)
+        rates = []
+
+        def proc():
+            for _ in range(200):
+                t0 = env.now
+                yield from disk.write(20.0)
+                rates.append(20.0 / (env.now - t0))
+
+        env.run_process(proc())
+        fast = [r for r in rates if r > 300]
+        slow = [r for r in rates if r < 50]
+        assert fast and slow  # bimodal
+        # Sample-mean is dominated by the fast phase (spuriously high).
+        assert sum(rates) / len(rates) > 300
+
+    def test_unflushed_bytes_remain(self):
+        """'large portions of the data had not actually been written to
+        the physical hard drive' (Section II-B)."""
+        env = Environment()
+        disk = make_cached(env)
+
+        def proc():
+            yield from disk.write(2000.0)
+
+        env.run_process(proc())
+        assert disk.unflushed_bytes > 1000.0
+
+    def test_fsync_drains_everything(self):
+        env = Environment()
+        disk = make_cached(env)
+
+        def proc():
+            yield from disk.write(2000.0)
+            yield from disk.fsync()
+
+        env.run_process(proc())
+        assert disk.unflushed_bytes == pytest.approx(0.0, abs=1e-6)
+        assert disk.bytes_flushed == pytest.approx(2000.0)
+
+    def test_conservation(self):
+        """written == flushed + dirty at all times."""
+        env = Environment()
+        disk = make_cached(env, high=500.0, low=100.0)
+
+        def proc():
+            for _ in range(37):
+                yield from disk.write(50.0)
+
+        env.run_process(proc())
+        assert disk.bytes_written == pytest.approx(
+            disk.bytes_flushed + disk.dirty_bytes
+        )
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            make_cached(env, low=500.0, high=500.0)
+        with pytest.raises(ValueError):
+            make_cached(env, absorb=50.0, drain=80.0)
+        disk = make_cached(env)
+        with pytest.raises(ValueError):
+            env.run_process(disk.write(-1.0))

@@ -1,0 +1,96 @@
+"""Tests for bandwidth fluctuation processes."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.sim import (
+    ConstantCapacity,
+    Environment,
+    GaussianJitter,
+    MarkovOnOff,
+    SharedLink,
+)
+
+
+def sample_factors(model, duration=60.0, step=0.05, seed=0):
+    """Sample the link's effective capacity over time."""
+    env = Environment()
+    link = SharedLink(env, capacity=1.0)
+    model.start(env, link, random.Random(seed))
+    samples = []
+
+    def sampler():
+        while env.now < duration:
+            yield env.timeout(step)
+            samples.append(link.effective_capacity)
+
+    env.process(sampler())
+    env.run(until=duration + 1)
+    return samples
+
+
+class TestConstantCapacity:
+    def test_factor_applied(self):
+        samples = sample_factors(ConstantCapacity(factor=0.5), duration=2.0)
+        assert all(s == 0.5 for s in samples)
+
+
+class TestGaussianJitter:
+    def test_mild_fluctuation(self):
+        samples = sample_factors(GaussianJitter(sigma=0.03), duration=120.0)
+        mean = statistics.mean(samples)
+        stdev = statistics.stdev(samples)
+        assert 0.95 <= mean <= 1.05
+        assert stdev < 0.10  # "only increased marginally"
+
+    def test_bounds_respected(self):
+        samples = sample_factors(
+            GaussianJitter(sigma=0.5, floor=0.6, ceil=1.1), duration=60.0
+        )
+        assert all(0.6 <= s <= 1.1 for s in samples)
+
+
+class TestMarkovOnOff:
+    def test_heavy_fluctuation_between_zero_and_full(self):
+        """EC2: 'TCP/UDP throughput ... can fluctuate rapidly between
+        1 GBit/s and zero, even at a time scale of tens of
+        milliseconds'."""
+        samples = sample_factors(MarkovOnOff(), duration=300.0, step=0.02)
+        assert min(samples) < 0.05  # near-zero episodes exist
+        assert max(samples) > 0.8  # near-full episodes exist
+        stdev = statistics.stdev(samples)
+        assert stdev > 0.2  # far noisier than the local cloud
+
+    def test_down_episodes_mostly_short_with_rare_outages(self):
+        samples = sample_factors(MarkovOnOff(), duration=300.0, step=0.01)
+        # Collect consecutive down-stretch lengths.
+        stretches = []
+        current = 0
+        for s in samples:
+            if s < 0.05:
+                current += 1
+            elif current:
+                stretches.append(current * 0.01)
+                current = 0
+        if current:
+            stretches.append(current * 0.01)
+        assert stretches, "no down episodes at all"
+        stretches.sort()
+        # The typical episode is at the tens-of-milliseconds scale...
+        median = stretches[len(stretches) // 2]
+        assert median < 0.5
+        # ...while rare outage-length episodes exist (Figure 2's deep
+        # EC2 whiskers) but stay bounded.
+        assert max(stretches) < 15.0
+
+    def test_deterministic_given_seed(self):
+        a = sample_factors(MarkovOnOff(), duration=10.0, seed=7)
+        b = sample_factors(MarkovOnOff(), duration=10.0, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = sample_factors(MarkovOnOff(), duration=10.0, seed=1)
+        b = sample_factors(MarkovOnOff(), duration=10.0, seed=2)
+        assert a != b

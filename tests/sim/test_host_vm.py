@@ -1,0 +1,81 @@
+"""Tests for physical host / virtual machine composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, PROFILES, PhysicalHost, RngStreams
+from repro.sim.disk import CachedDisk, PlainDisk
+
+
+def make_host(platform="kvm-paravirt", seed=1, name="h"):
+    env = Environment()
+    return env, PhysicalHost(env, PROFILES[platform], RngStreams(seed), name=name)
+
+
+class TestPhysicalHost:
+    def test_nic_capacity_from_profile(self):
+        env, host = make_host("native")
+        assert host.nic.capacity == PROFILES["native"].net_app_rate
+
+    def test_nic_capacity_override(self):
+        env = Environment()
+        host = PhysicalHost(
+            env, PROFILES["native"], RngStreams(0), nic_capacity=42.0
+        )
+        assert host.nic.capacity == 42.0
+
+    def test_xen_gets_cached_disk(self):
+        env, host = make_host("xen-paravirt")
+        assert isinstance(host.disk, CachedDisk)
+
+    def test_others_get_plain_disk(self):
+        for platform in ("native", "kvm-full", "kvm-paravirt", "ec2"):
+            env, host = make_host(platform)
+            assert isinstance(host.disk, PlainDisk), platform
+
+    def test_spawn_vm_and_colocation(self):
+        env, host = make_host()
+        vm1 = host.spawn_vm()
+        vm2 = host.spawn_vm("custom-name")
+        assert vm2.name == "custom-name"
+        assert host.colocated_load(vm1) == 1
+        assert host.colocated_load(vm2) == 1
+        vm3 = host.spawn_vm()
+        assert host.colocated_load(vm1) == 2
+
+    def test_rng_streams_named_per_host(self):
+        env, host = make_host(name="a")
+        r1 = host.rng("x")
+        r2 = host.rng("x")
+        assert r1 is r2  # same purpose -> same stream
+
+
+class TestVirtualMachine:
+    def test_charges_route_to_both_ledgers(self):
+        env, host = make_host("kvm-paravirt")
+        vm = host.spawn_vm()
+        vm.charge_net_send(1e9)
+        assert vm.ledger.vm.total() > 0
+        assert vm.ledger.host.total() > vm.ledger.vm.total()
+
+    def test_each_op_charges_its_own_pair(self):
+        env, host = make_host("xen-paravirt")
+        vm = host.spawn_vm()
+        vm.charge_file_read(1e9)
+        read_total = vm.ledger.host.total()
+        vm2 = host.spawn_vm()
+        vm2.charge_net_recv(1e9)
+        recv_total = vm2.ledger.host.total()
+        assert read_total != recv_total
+
+    def test_open_net_flow_on_host_nic(self):
+        env, host = make_host()
+        vm = host.spawn_vm()
+        flow = vm.open_net_flow()
+        assert flow in host.nic._flows
+
+    def test_disk_is_hosts_disk(self):
+        env, host = make_host()
+        vm = host.spawn_vm()
+        assert vm.disk is host.disk

@@ -1,0 +1,100 @@
+"""Tests for virtualization profiles and their calibration claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import EVALUATION_PROFILE, PROFILES, build_profiles
+from repro.sim.hypervisor import IoCostPair
+
+
+class TestProfilesInventory:
+    def test_all_five_platforms_present(self):
+        assert set(PROFILES) == {
+            "native",
+            "kvm-full",
+            "kvm-paravirt",
+            "xen-paravirt",
+            "ec2",
+        }
+
+    def test_evaluation_platform_is_kvm_paravirt(self):
+        """Section IV: 'conducted on our local Eucalyptus-based cloud
+        using KVM-based virtual machines with paravirtualized I/O'."""
+        assert EVALUATION_PROFILE.name == "kvm-paravirt"
+
+    def test_build_profiles_returns_fresh_dict(self):
+        a = build_profiles()
+        b = build_profiles()
+        assert a is not b
+        assert set(a) == set(b)
+
+    def test_ec2_host_not_observable(self):
+        assert not PROFILES["ec2"].host_observable
+        assert PROFILES["native"].host_observable
+
+
+class TestCalibrationShape:
+    """The Figure 1 claims, encoded as cost-vector relations."""
+
+    @staticmethod
+    def gap(pair: IoCostPair) -> float:
+        vm = pair.vm.total
+        return (vm + pair.host_extra.total) / vm
+
+    def test_kvm_paravirt_net_send_gap_factor_15(self):
+        assert self.gap(PROFILES["kvm-paravirt"].net_send) == pytest.approx(15.0, rel=0.05)
+
+    def test_xen_file_read_gap_factor_15(self):
+        assert self.gap(PROFILES["xen-paravirt"].file_read) == pytest.approx(15.0, rel=0.05)
+
+    def test_native_has_no_gap(self):
+        native = PROFILES["native"]
+        for pair in (native.net_send, native.net_recv, native.file_write, native.file_read):
+            assert pair.host_extra.total == 0.0
+
+    def test_every_virtualized_platform_has_a_gap(self):
+        """'this discrepancy is not specific to a particular type of I/O
+        operation or virtualization technique'."""
+        for name in ("kvm-full", "kvm-paravirt", "xen-paravirt"):
+            profile = PROFILES[name]
+            for pair in (
+                profile.net_send,
+                profile.net_recv,
+                profile.file_write,
+                profile.file_read,
+            ):
+                assert self.gap(pair) > 1.2, (name, pair)
+
+    def test_only_xen_shows_steal(self):
+        for name, profile in PROFILES.items():
+            steal = profile.net_send.vm.steal
+            if name in ("xen-paravirt", "ec2"):  # both xen-based
+                assert steal > 0
+            else:
+                assert steal == 0
+
+    def test_only_xen_has_disk_cache(self):
+        for name, profile in PROFILES.items():
+            if name == "xen-paravirt":
+                assert profile.disk_cache is not None
+            else:
+                assert profile.disk_cache is None
+
+    def test_evaluation_rate_matches_table2(self):
+        """Table II NO rows: 50 GB / ~567 s ~= 90 MB/s."""
+        rate = EVALUATION_PROFILE.net_app_rate
+        assert 88e6 <= rate <= 92e6
+
+    def test_native_fastest_network(self):
+        native_rate = PROFILES["native"].net_app_rate
+        for name, profile in PROFILES.items():
+            if name != "native":
+                assert profile.net_app_rate < native_rate
+
+    def test_io_cost_pair_from_utilizations(self):
+        pair = IoCostPair.from_utilizations(
+            {"SYS": 10.0}, {"SYS": 40.0}, rate_bytes_per_s=1e6
+        )
+        assert pair.vm.sys == pytest.approx(1e-7)
+        assert pair.host_extra.sys == pytest.approx(3e-7)

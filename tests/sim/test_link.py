@@ -1,0 +1,244 @@
+"""Tests for the fluid shared-link model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, SharedLink
+
+
+def make_link(capacity=100.0):
+    env = Environment()
+    return env, SharedLink(env, capacity=capacity)
+
+
+class TestSingleFlow:
+    def test_transfer_time_exact(self):
+        env, link = make_link(100.0)
+        flow = link.open_flow("f")
+
+        def proc():
+            yield link.transmit(flow, 250.0)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(2.5)
+
+    def test_zero_bytes_completes_immediately(self):
+        env, link = make_link()
+        flow = link.open_flow("f")
+
+        def proc():
+            yield link.transmit(flow, 0.0)
+            return env.now
+
+        assert env.run_process(proc()) == 0.0
+
+    def test_demand_cap_limits_rate(self):
+        env, link = make_link(100.0)
+        flow = link.open_flow("f", demand=10.0)
+
+        def proc():
+            yield link.transmit(flow, 50.0)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(5.0)
+
+    def test_sequential_transmissions(self):
+        env, link = make_link(100.0)
+        flow = link.open_flow("f")
+
+        def proc():
+            yield link.transmit(flow, 100.0)
+            yield link.transmit(flow, 200.0)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(3.0)
+        assert flow.bytes_done == pytest.approx(300.0)
+
+
+class TestSharing:
+    def test_equal_weights_split_evenly(self):
+        env, link = make_link(100.0)
+        f1, f2 = link.open_flow("a"), link.open_flow("b")
+        done = {}
+
+        def proc(name, flow, nbytes):
+            yield link.transmit(flow, nbytes)
+            done[name] = env.now
+
+        env.process(proc("a", f1, 100.0))
+        env.process(proc("b", f2, 100.0))
+        env.run()
+        # Both at 50 B/s while sharing.
+        assert done["a"] == pytest.approx(2.0)
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_weighted_share(self):
+        env, link = make_link(100.0)
+        heavy = link.open_flow("heavy", weight=3.0)
+        light = link.open_flow("light", weight=1.0)
+        done = {}
+
+        def proc(name, flow, nbytes):
+            yield link.transmit(flow, nbytes)
+            done[name] = env.now
+
+        env.process(proc("heavy", heavy, 300.0))  # 75 B/s -> 4 s
+        env.process(proc("light", light, 100.0))  # 25 B/s -> 4 s
+        env.run()
+        assert done["heavy"] == pytest.approx(4.0)
+        assert done["light"] == pytest.approx(4.0)
+
+    def test_departure_frees_capacity(self):
+        env, link = make_link(100.0)
+        f1, f2 = link.open_flow("a"), link.open_flow("b")
+        done = {}
+
+        def proc(name, flow, nbytes):
+            yield link.transmit(flow, nbytes)
+            done[name] = env.now
+
+        env.process(proc("a", f1, 50.0)),  # shares 50 B/s -> done at 1.0
+        env.process(proc("b", f2, 150.0))  # 50 B done at t=1, then 100 B/s
+        env.run()
+        assert done["a"] == pytest.approx(1.0)
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_demand_capped_flow_redistributes(self):
+        env, link = make_link(100.0)
+        capped = link.open_flow("capped", demand=20.0)
+        free = link.open_flow("free")
+        done = {}
+
+        def proc(name, flow, nbytes):
+            yield link.transmit(flow, nbytes)
+            done[name] = env.now
+
+        env.process(proc("capped", capped, 100.0))  # 20 B/s -> 5 s
+        env.process(proc("free", free, 400.0))  # 80 B/s -> 5 s
+        env.run()
+        assert done["capped"] == pytest.approx(5.0)
+        assert done["free"] == pytest.approx(5.0)
+
+    def test_mid_flight_demand_change(self):
+        env, link = make_link(100.0)
+        flow = link.open_flow("f")
+
+        def changer():
+            yield env.timeout(1.0)
+            flow.set_demand(10.0)
+
+        def sender():
+            yield link.transmit(flow, 190.0)
+            return env.now
+
+        env.process(changer())
+        proc = env.process(sender())
+        env.run()
+        # 100 B in first second, remaining 90 B at 10 B/s.
+        assert proc.value == pytest.approx(10.0)
+
+
+class TestCapacityFactor:
+    def test_capacity_factor_scales_rate(self):
+        env, link = make_link(100.0)
+        link.set_capacity_factor(0.5)
+        flow = link.open_flow("f")
+
+        def proc():
+            yield link.transmit(flow, 100.0)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(2.0)
+
+    def test_mid_flight_capacity_change(self):
+        env, link = make_link(100.0)
+        flow = link.open_flow("f")
+
+        def changer():
+            yield env.timeout(1.0)
+            link.set_capacity_factor(0.1)
+
+        def sender():
+            yield link.transmit(flow, 150.0)
+            return env.now
+
+        env.process(changer())
+        proc = env.process(sender())
+        env.run()
+        # 100 B in the first second, then 50 B at 10 B/s.
+        assert proc.value == pytest.approx(6.0)
+
+    def test_zero_capacity_stalls_until_restored(self):
+        env, link = make_link(100.0)
+        flow = link.open_flow("f")
+
+        def choke():
+            yield env.timeout(0.5)
+            link.set_capacity_factor(0.0)
+            yield env.timeout(10.0)
+            link.set_capacity_factor(1.0)
+
+        def sender():
+            yield link.transmit(flow, 100.0)
+            return env.now
+
+        env.process(choke())
+        proc = env.process(sender())
+        env.run()
+        # 50 B by 0.5 s, stalled until 10.5 s, 50 B more by 11 s.
+        assert proc.value == pytest.approx(11.0)
+
+    def test_validation(self):
+        env, link = make_link()
+        with pytest.raises(ValueError):
+            link.set_capacity_factor(-0.1)
+        with pytest.raises(ValueError):
+            SharedLink(env, capacity=0)
+        with pytest.raises(ValueError):
+            link.open_flow("f", weight=0)
+
+
+class TestAccounting:
+    def test_total_bytes_conserved(self):
+        env, link = make_link(100.0)
+        flows = [link.open_flow(f"f{i}") for i in range(3)]
+        sizes = [123.0, 456.0, 789.0]
+
+        def proc(flow, nbytes):
+            yield link.transmit(flow, nbytes)
+
+        for flow, size in zip(flows, sizes):
+            env.process(proc(flow, size))
+        env.run()
+        assert link.total_bytes == pytest.approx(sum(sizes))
+        for flow, size in zip(flows, sizes):
+            assert flow.bytes_done == pytest.approx(size)
+
+    def test_throughput_never_exceeds_capacity(self):
+        env, link = make_link(100.0)
+        flows = [link.open_flow(f"f{i}") for i in range(4)]
+
+        def proc(flow):
+            yield link.transmit(flow, 100.0)
+
+        for flow in flows:
+            env.process(proc(flow))
+        env.run()
+        # 400 B through a 100 B/s link must take >= 4 s.
+        assert env.now >= 4.0 - 1e-9
+
+    def test_errors(self):
+        env, link = make_link()
+        flow = link.open_flow("f")
+        other_env = Environment()
+        other_link = SharedLink(other_env, capacity=10)
+        with pytest.raises(RuntimeError):
+            other_link.transmit(flow, 10)
+        with pytest.raises(ValueError):
+            link.transmit(flow, -5)
+        link.transmit(flow, 100.0)
+        with pytest.raises(RuntimeError):
+            link.transmit(flow, 1.0)  # already transmitting
+        with pytest.raises(RuntimeError):
+            link.close_flow(flow)  # still busy

@@ -1,0 +1,111 @@
+"""Property-based tests of the fluid shared link (conservation laws)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, SharedLink
+
+flow_spec = st.tuples(
+    st.floats(min_value=0.5, max_value=5.0),  # weight
+    st.floats(min_value=10.0, max_value=2000.0),  # bytes to send
+    st.floats(min_value=0.0, max_value=5.0),  # start delay
+    st.one_of(st.none(), st.floats(min_value=5.0, max_value=200.0)),  # demand cap
+)
+
+
+class TestLinkProperties:
+    @given(specs=st.lists(flow_spec, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_bytes_conserved_and_capacity_respected(self, specs):
+        env = Environment()
+        capacity = 100.0
+        link = SharedLink(env, capacity=capacity)
+        total_requested = 0.0
+
+        def sender(flow, nbytes, delay):
+            if delay:
+                yield env.timeout(delay)
+            yield link.transmit(flow, nbytes)
+
+        for i, (weight, nbytes, delay, demand) in enumerate(specs):
+            flow = link.open_flow(f"f{i}", weight=weight, demand=demand)
+            total_requested += nbytes
+            env.process(sender(flow, nbytes, delay))
+        env.run()
+
+        # Conservation: every requested byte crossed the link.
+        assert link.total_bytes == pytest.approx(total_requested, rel=1e-6)
+        # Capacity: when everything starts at t=0, the link cannot move
+        # the total volume faster than its capacity allows.
+        if max(delay for _, _, delay, _ in specs) == 0:
+            assert env.now >= total_requested / capacity - 1e-6
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=4.0), min_size=2, max_size=5
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_shares_exact_for_simultaneous_flows(self, weights):
+        """All flows start together with equal volume-to-weight ratio:
+        they must finish at the same instant (exact weighted fairness)."""
+        env = Environment()
+        link = SharedLink(env, capacity=100.0)
+        finish = {}
+
+        def sender(name, flow, nbytes):
+            yield link.transmit(flow, nbytes)
+            finish[name] = env.now
+
+        for i, weight in enumerate(weights):
+            flow = link.open_flow(f"f{i}", weight=weight)
+            env.process(sender(f"f{i}", flow, 100.0 * weight))
+        env.run()
+        times = list(finish.values())
+        assert max(times) == pytest.approx(min(times), rel=1e-9)
+        # And the common finish time is total volume / capacity.
+        total = sum(100.0 * w for w in weights)
+        assert times[0] == pytest.approx(total / 100.0, rel=1e-9)
+
+    @given(
+        nbytes=st.floats(min_value=1.0, max_value=1e9),
+        capacity=st.floats(min_value=1.0, max_value=1e9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_single_flow_exact_time(self, nbytes, capacity):
+        env = Environment()
+        link = SharedLink(env, capacity=capacity)
+        flow = link.open_flow("f")
+
+        def proc():
+            yield link.transmit(flow, nbytes)
+            return env.now
+
+        assert env.run_process(proc()) == pytest.approx(nbytes / capacity, rel=1e-9)
+
+    @given(
+        factors=st.lists(
+            st.floats(min_value=0.1, max_value=1.0), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_modulation_conserves_bytes(self, factors):
+        env = Environment()
+        link = SharedLink(env, capacity=100.0)
+        flow = link.open_flow("f")
+
+        def modulator():
+            for factor in factors:
+                link.set_capacity_factor(factor)
+                yield env.timeout(0.5)
+
+        def sender():
+            yield link.transmit(flow, 500.0)
+
+        env.process(modulator())
+        env.process(sender())
+        env.run()
+        assert flow.bytes_done == pytest.approx(500.0, rel=1e-6)

@@ -1,0 +1,100 @@
+"""Tests for throughput and CPU utilization samplers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    CostVector,
+    CpuLedger,
+    CpuUtilizationSampler,
+    Environment,
+    ThroughputSampler,
+)
+
+
+class TestThroughputSampler:
+    def test_samples_every_20mb_by_default(self):
+        env = Environment()
+        sampler = ThroughputSampler(env)
+
+        def proc():
+            for _ in range(5):
+                yield env.timeout(1.0)
+                sampler.progress(20e6)
+
+        env.run_process(proc())
+        assert len(sampler.samples) == 5
+        assert all(s.rate == pytest.approx(20e6) for s in sampler.samples)
+
+    def test_partial_progress_accumulates(self):
+        env = Environment()
+        sampler = ThroughputSampler(env, sample_bytes=100.0)
+
+        def proc():
+            yield env.timeout(1.0)
+            sampler.progress(60.0)
+            yield env.timeout(1.0)
+            sampler.progress(60.0)  # crosses 100 at t=2
+
+        env.run_process(proc())
+        assert len(sampler.samples) == 1
+        assert sampler.samples[0].timestamp == 2.0
+        assert sampler.samples[0].duration == 2.0
+
+    def test_large_progress_emits_multiple_samples(self):
+        env = Environment()
+        sampler = ThroughputSampler(env, sample_bytes=10.0)
+
+        def proc():
+            yield env.timeout(1.0)
+            sampler.progress(35.0)
+
+        env.run_process(proc())
+        assert len(sampler.samples) == 3
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ThroughputSampler(env, sample_bytes=0)
+        sampler = ThroughputSampler(env)
+        with pytest.raises(ValueError):
+            sampler.progress(-1)
+
+    def test_rates_excludes_zero_duration(self):
+        env = Environment()
+        sampler = ThroughputSampler(env, sample_bytes=10.0)
+        sampler.progress(25.0)  # two instant samples at t=0
+        assert sampler.rates() == []
+
+
+class TestCpuUtilizationSampler:
+    def test_constant_load_measured(self):
+        env = Environment()
+        ledger = CpuLedger()
+        sampler = CpuUtilizationSampler(env, ledger, interval=1.0)
+        cost = CostVector(sys=0.5e-6)  # 0.5 s per MB
+
+        def load():
+            while env.now < 10.0:
+                yield env.timeout(0.1)
+                ledger.charge(cost, 0.1e6)  # 1 MB/s -> 50 % SYS
+
+        env.process(load())
+        env.run(until=10.0)
+        mean = sampler.mean_percent()
+        assert mean["SYS"] == pytest.approx(50.0, rel=0.05)
+        assert mean["USR"] == 0.0
+        assert sampler.mean_total() == pytest.approx(50.0, rel=0.05)
+
+    def test_no_samples_before_first_interval(self):
+        env = Environment()
+        sampler = CpuUtilizationSampler(env, CpuLedger(), interval=5.0)
+        env.run(until=4.0)
+        assert sampler.samples == []
+        assert sampler.mean_total() == 0.0
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CpuUtilizationSampler(env, CpuLedger(), interval=0)

@@ -1,0 +1,154 @@
+"""Tests for Store and Semaphore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Semaphore, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc():
+            yield store.put("x")
+            item = yield store.get()
+            return item
+
+        assert env.run_process(proc()) == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer():
+            yield env.timeout(3.0)
+            yield store.put("late")
+
+        def consumer():
+            item = yield store.get()
+            return (item, env.now)
+
+        env.process(producer())
+        proc = env.process(consumer())
+        env.run()
+        assert proc.value == ("late", 3.0)
+
+    def test_bounded_put_blocks_until_get(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = {}
+
+        def producer():
+            yield store.put(1)
+            times["first"] = env.now
+            yield store.put(2)
+            times["second"] = env.now
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times["first"] == 0.0
+        assert times["second"] == 5.0
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                out.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_try_get(self):
+        env = Environment()
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("a")
+        assert store.try_get() == "a"
+        assert len(store) == 0
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_is_full(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+        assert not store.is_full
+        store.put("a")
+        store.put("b")
+        assert store.is_full
+
+
+class TestSemaphore:
+    def test_acquire_release(self):
+        env = Environment()
+        sem = Semaphore(env, capacity=1)
+
+        def proc():
+            yield sem.acquire()
+            assert sem.in_use == 1
+            sem.release()
+            return sem.in_use
+
+        assert env.run_process(proc()) == 0
+
+    def test_waiters_block_until_release(self):
+        env = Environment()
+        sem = Semaphore(env, capacity=1)
+        times = {}
+
+        def holder():
+            yield sem.acquire()
+            yield env.timeout(4.0)
+            sem.release()
+
+        def waiter():
+            yield sem.acquire()
+            times["acquired"] = env.now
+            sem.release()
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert times["acquired"] == 4.0
+
+    def test_capacity_counts(self):
+        env = Environment()
+        sem = Semaphore(env, capacity=3)
+
+        def proc():
+            yield sem.acquire()
+            yield sem.acquire()
+            return sem.available
+
+        assert env.run_process(proc()) == 1
+
+    def test_release_without_acquire(self):
+        env = Environment()
+        sem = Semaphore(env, capacity=1)
+        with pytest.raises(RuntimeError):
+            sem.release()
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Semaphore(env, capacity=0)

@@ -1,0 +1,84 @@
+"""Tests for the scenario runner configuration surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Compressibility, RepeatingSource
+from repro.sim import (
+    PAPER_TOTAL_BYTES,
+    CodecSimModel,
+    ScenarioConfig,
+    make_dynamic_factory,
+    make_static_factory,
+    run_transfer_scenario,
+)
+from repro.sim.fluctuation import ConstantCapacity
+from repro.sim.hypervisor import PROFILES
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper(self):
+        cfg = ScenarioConfig(scheme_factory=make_dynamic_factory())
+        assert cfg.total_bytes == PAPER_TOTAL_BYTES == 50 * 10**9
+        assert cfg.epoch_seconds == 2.0
+        assert cfg.n_background == 0
+        assert cfg.profile.name == "kvm-paravirt"
+
+    def test_factories_produce_named_schemes(self):
+        assert make_static_factory(1, "LIGHT")(4).name == "LIGHT"
+        assert make_dynamic_factory()(4).name == "DYNAMIC"
+        assert make_dynamic_factory(alpha=0.1)(4).model.alpha == 0.1
+
+    def test_custom_source_factory_wins(self):
+        marker = RepeatingSource(b"z", 300_000_000, Compressibility.LOW)
+        cfg = ScenarioConfig(
+            scheme_factory=make_static_factory(0, "NO"),
+            compressibility=Compressibility.HIGH,  # should be ignored
+            source_factory=lambda: marker,
+            total_bytes=300_000_000,
+        )
+        result = run_transfer_scenario(cfg)
+        assert marker.exhausted
+        assert result.total_app_bytes == pytest.approx(300_000_000)
+
+    def test_custom_fluctuation_model(self):
+        cfg = ScenarioConfig(
+            scheme_factory=make_static_factory(0, "NO"),
+            total_bytes=500_000_000,
+            fluctuation=ConstantCapacity(factor=0.5),
+            seed=9,
+        )
+        result = run_transfer_scenario(cfg)
+        # Half the capacity -> about twice the nominal transfer time.
+        nominal = 500_000_000 / PROFILES["kvm-paravirt"].net_app_rate
+        assert result.completion_time == pytest.approx(2 * nominal, rel=0.05)
+
+    def test_custom_profile(self):
+        cfg = ScenarioConfig(
+            scheme_factory=make_static_factory(0, "NO"),
+            total_bytes=500_000_000,
+            profile=PROFILES["native"],
+            fluctuation=ConstantCapacity(),
+            seed=9,
+        )
+        result = run_transfer_scenario(cfg)
+        nominal = 500_000_000 / PROFILES["native"].net_app_rate
+        assert result.completion_time == pytest.approx(nominal, rel=0.05)
+
+    def test_custom_codec_model(self):
+        from repro.sim.calibration import CODEC_MODEL, CodecPoint
+
+        table = dict(CODEC_MODEL)
+        # Make LIGHT worthless: same ratio as NO, slow.
+        for cls in Compressibility:
+            table[("LIGHT", cls)] = CodecPoint(1e6, 1.0, 1e7, 0.0)
+        cfg = ScenarioConfig(
+            scheme_factory=make_static_factory(1, "LIGHT"),
+            total_bytes=300_000_000,
+            model=CodecSimModel(table),
+            seed=3,
+        )
+        result = run_transfer_scenario(cfg)
+        # 300 MB at ~1 MB/s compression-bound.
+        assert result.completion_time > 250

@@ -1,0 +1,87 @@
+"""Stateful property test for the Store resource.
+
+Hypothesis drives random interleavings of puts, gets and drains against
+a model (a plain deque), checking FIFO order and capacity bounds at
+every step.  Because Store's blocking behaviour is event-based, the
+state machine only issues operations that complete immediately and
+checks that the library agrees with the model about which those are.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Store
+
+CAPACITY = 5
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.env = Environment()
+        self.store = Store(self.env, capacity=CAPACITY)
+        self.model: deque = deque()
+        self.counter = 0
+
+    @precondition(lambda self: len(self.model) < CAPACITY)
+    @rule()
+    def put_when_space(self):
+        item = self.counter
+        self.counter += 1
+        event = self.store.put(item)
+        self.env.run()
+        assert event.triggered  # must complete immediately below capacity
+        self.model.append(item)
+
+    @precondition(lambda self: len(self.model) == CAPACITY)
+    @rule()
+    def put_when_full_blocks(self):
+        event = self.store.put("blocked")
+        self.env.run()
+        assert not event.triggered
+        # Unblock it right away to keep the machine simple: one get
+        # admits the blocked put.
+        got = self.store.get()
+        self.env.run()
+        assert got.triggered
+        assert got.value == self.model.popleft()
+        assert event.triggered
+        self.model.append("blocked")
+
+    @precondition(lambda self: len(self.model) > 0)
+    @rule()
+    def get_when_nonempty(self):
+        event = self.store.get()
+        self.env.run()
+        assert event.triggered
+        assert event.value == self.model.popleft()
+
+    @precondition(lambda self: len(self.model) == 0)
+    @rule()
+    def try_get_empty(self):
+        assert self.store.try_get() is None
+
+    @rule(n=st.integers(min_value=1, max_value=3))
+    def drain_some(self, n):
+        for _ in range(min(n, len(self.model))):
+            item = self.store.try_get()
+            assert item == self.model.popleft()
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def full_flag_agrees(self):
+        assert self.store.is_full == (len(self.model) >= CAPACITY)
+
+
+TestStoreStateful = StoreMachine.TestCase
+TestStoreStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

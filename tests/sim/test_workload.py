@@ -1,0 +1,123 @@
+"""Tests for the Section II auxiliary workload generators."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.sim import Environment, PhysicalHost, PROFILES, RngStreams
+from repro.sim.workload import (
+    OPERATIONS,
+    run_file_read,
+    run_file_write,
+    run_net_recv,
+    run_net_send,
+)
+
+
+def run_op(fn, platform, total_bytes=1.5e9, seed=3):
+    env = Environment()
+    host = PhysicalHost(env, PROFILES[platform], RngStreams(seed), name=platform)
+    vm = host.spawn_vm()
+    return fn(env, vm, total_bytes), host
+
+
+class TestRegistry:
+    def test_all_four_operations(self):
+        assert set(OPERATIONS) == {"net-send", "net-recv", "file-write", "file-read"}
+
+
+class TestFigure1Shapes:
+    """The paper's CPU-accuracy claims, end to end through the sim."""
+
+    def test_kvm_paravirt_net_send_gap_about_15(self):
+        report, _ = run_op(run_net_send, "kvm-paravirt")
+        assert 12.0 <= report.discrepancy_factor <= 18.0
+        assert report.vm_cpu_total < 10.0  # VM thinks it is nearly idle
+        assert report.host_cpu_total > 90.0  # host burns a core
+
+    def test_xen_file_read_gap_about_15(self):
+        report, _ = run_op(run_file_read, "xen-paravirt", total_bytes=0.8e9)
+        assert 12.0 <= report.discrepancy_factor <= 18.0
+
+    def test_native_shows_no_gap(self):
+        report, _ = run_op(run_net_send, "native")
+        assert report.discrepancy_factor == pytest.approx(1.0, rel=0.01)
+
+    def test_gap_exists_across_all_virtualized_ops(self):
+        for platform in ("kvm-full", "kvm-paravirt", "xen-paravirt"):
+            for fn in (run_net_send, run_net_recv, run_file_write, run_file_read):
+                report, _ = run_op(fn, platform, total_bytes=0.6e9)
+                assert report.discrepancy_factor > 1.2, (platform, report.operation)
+
+    def test_ec2_host_view_unavailable(self):
+        report, _ = run_op(run_net_send, "ec2")
+        assert report.host_cpu_total == 0.0
+        assert report.vm_cpu_total > 0.0
+
+
+class TestFigure2Shapes:
+    """Network throughput distribution claims."""
+
+    def test_local_cloud_fluctuation_marginal(self):
+        native, _ = run_op(run_net_send, "native", total_bytes=2e9)
+        kvm, _ = run_op(run_net_send, "kvm-paravirt", total_bytes=2e9)
+        cv_native = statistics.stdev(native.throughput_samples) / statistics.mean(
+            native.throughput_samples
+        )
+        cv_kvm = statistics.stdev(kvm.throughput_samples) / statistics.mean(
+            kvm.throughput_samples
+        )
+        assert cv_native < 0.15
+        assert cv_kvm < 0.25
+
+    def test_ec2_fluctuation_heavy(self):
+        ec2, _ = run_op(run_net_send, "ec2", total_bytes=2e9)
+        cv = statistics.stdev(ec2.throughput_samples) / statistics.mean(
+            ec2.throughput_samples
+        )
+        native, _ = run_op(run_net_send, "native", total_bytes=2e9)
+        cv_native = statistics.stdev(native.throughput_samples) / statistics.mean(
+            native.throughput_samples
+        )
+        assert cv > 3 * cv_native
+
+    def test_throughput_near_platform_rate(self):
+        report, _ = run_op(run_net_send, "kvm-paravirt", total_bytes=2e9)
+        median = statistics.median(report.throughput_samples)
+        assert median == pytest.approx(PROFILES["kvm-paravirt"].net_app_rate, rel=0.1)
+
+
+class TestFigure3Shapes:
+    """File-write throughput distribution claims."""
+
+    def test_xen_write_bimodal_and_spuriously_high(self):
+        report, host = run_op(run_file_write, "xen-paravirt", total_bytes=4e9)
+        rates = report.throughput_samples
+        assert max(rates) > 400e6  # cache absorption episodes
+        assert min(rates) < 10e6  # flush stalls ("a few MB/s")
+        # The sample median is far above the physical disk rate.
+        assert statistics.median(rates) > 3 * PROFILES["xen-paravirt"].file_write_rate
+        # And data remains unflushed at the end.
+        assert host.disk.unflushed_bytes > 0.5e9
+
+    def test_kvm_write_honest(self):
+        report, host = run_op(run_file_write, "kvm-paravirt", total_bytes=2e9)
+        median = statistics.median(report.throughput_samples)
+        assert median == pytest.approx(
+            PROFILES["kvm-paravirt"].file_write_rate, rel=0.15
+        )
+
+
+class TestBookkeeping:
+    def test_duration_consistent_with_bytes(self):
+        report, _ = run_op(run_net_send, "native", total_bytes=1e9)
+        implied_rate = report.total_bytes / report.duration
+        assert implied_rate == pytest.approx(PROFILES["native"].net_app_rate, rel=0.1)
+
+    def test_report_metadata(self):
+        report, _ = run_op(run_net_recv, "kvm-full", total_bytes=0.5e9)
+        assert report.operation == "net-recv"
+        assert report.platform == "kvm-full"
+        assert report.total_bytes == 0.5e9

@@ -1,0 +1,70 @@
+"""Subprocess tests of the installed console entry points."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_module(args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExperimentsEntrypoint:
+    def test_list(self):
+        proc = run_module(["repro.experiments", "--list"])
+        assert proc.returncode == 0
+        ids = proc.stdout.split()
+        assert "table2" in ids
+        assert "ext-memory" in ids
+        assert len(ids) >= 14
+
+    def test_help(self):
+        proc = run_module(["repro.experiments", "--help"])
+        assert proc.returncode == 0
+        assert "--scale" in proc.stdout
+
+    def test_unknown_id_exit_code(self):
+        proc = run_module(["repro.experiments", "nonsense"])
+        assert proc.returncode == 2
+        assert "unknown experiment" in proc.stderr
+
+    def test_tiny_run(self):
+        proc = run_module(["repro.experiments", "fig4", "--scale", "0.05"])
+        assert proc.returncode == 0
+        assert "[OK" in proc.stdout
+
+
+class TestCompressEntrypoint:
+    def test_help(self):
+        proc = run_module(["repro.io.cli", "--help"])
+        assert proc.returncode == 0
+        assert "pack" in proc.stdout
+        assert "unpack" in proc.stdout
+
+    def test_pack_unpack_info(self, tmp_path):
+        src = tmp_path / "data.bin"
+        src.write_bytes(b"entrypoint payload " * 4000)
+        packed = tmp_path / "data.abc"
+        restored = tmp_path / "data.out"
+
+        proc = run_module(
+            ["repro.io.cli", "pack", str(src), str(packed), "--level", "LIGHT"]
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ratio" in proc.stdout
+
+        proc = run_module(["repro.io.cli", "info", str(packed)])
+        assert proc.returncode == 0
+        assert "zlib-1" in proc.stdout
+
+        proc = run_module(["repro.io.cli", "unpack", str(packed), str(restored)])
+        assert proc.returncode == 0
+        assert restored.read_bytes() == src.read_bytes()

@@ -1,0 +1,78 @@
+"""Public-surface tests: exports resolve, public items are documented."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.codecs",
+    "repro.core",
+    "repro.data",
+    "repro.schemes",
+    "repro.sim",
+    "repro.nephele",
+    "repro.io",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+    def test_no_duplicate_exports(self, package):
+        module = importlib.import_module(package)
+        exported = getattr(module, "__all__", [])
+        assert len(exported) == len(set(exported))
+
+    def test_module_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip()
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_classes_and_functions_documented(package):
+    """Every class/function a package exports carries a docstring."""
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"{package}: undocumented public items {undocumented}"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_experiment_registry_complete():
+    """Every experiment module's runner is reachable from the CLI map."""
+    from repro.experiments.runner import EXPERIMENTS, PAPER_SET
+
+    assert set(PAPER_SET) == {
+        "fig1",
+        "fig2",
+        "fig3",
+        "table2",
+        "fig4",
+        "fig5",
+        "fig6",
+    }
+    for exp_id, fn in EXPERIMENTS.items():
+        assert callable(fn), exp_id
+        assert "scale" in inspect.signature(fn).parameters, exp_id
