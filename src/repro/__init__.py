@@ -15,6 +15,8 @@ Public surface (see README for a guided tour):
 * :mod:`repro.sim` — discrete-event virtualization/cloud simulator.
 * :mod:`repro.nephele` — mini dataflow framework with compressing channels.
 * :mod:`repro.io` — real-socket/pipe adaptive transfer.
+* :mod:`repro.telemetry` — event bus, metrics, tracing spans and
+  exporters (one trace schema for real and simulated runs).
 * :mod:`repro.experiments` — reproduction harness for every paper
   table and figure (``python -m repro.experiments``).
 """

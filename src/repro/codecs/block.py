@@ -32,6 +32,7 @@ import zlib
 from dataclasses import dataclass
 from typing import BinaryIO, Iterator, Optional
 
+from ..telemetry.events import BUS, BlockCompressed
 from .base import Codec
 from .errors import CorruptBlockError, TruncatedStreamError
 from .registry import DEFAULT_REGISTRY, CodecRegistry
@@ -89,7 +90,21 @@ def encode_block(data: bytes, codec: Codec, *, allow_stored_fallback: bool = Tru
     so that incompressible data never costs more than the 20-byte
     header.
     """
-    payload = codec.compress(data)
+    if BUS.active:
+        t0 = BUS.now()
+        payload = codec.compress(data)
+        BUS.publish(
+            BlockCompressed(
+                ts=BUS.now(),
+                codec=codec.name,
+                direction="compress",
+                uncompressed_bytes=len(data),
+                compressed_bytes=len(payload),
+                seconds=BUS.now() - t0,
+            )
+        )
+    else:
+        payload = codec.compress(data)
     codec_id = codec.codec_id
     flags = 0
     if allow_stored_fallback and codec_id != 0 and len(payload) >= len(data):
@@ -149,7 +164,22 @@ def decode_block(frame: bytes, registry: CodecRegistry = DEFAULT_REGISTRY) -> by
         )
     if (zlib.crc32(payload) & 0xFFFFFFFF) != header.crc32:
         raise CorruptBlockError("payload CRC mismatch")
-    data = registry.get(header.codec_id).decompress(payload)
+    codec = registry.get(header.codec_id)
+    if BUS.active:
+        t0 = BUS.now()
+        data = codec.decompress(payload)
+        BUS.publish(
+            BlockCompressed(
+                ts=BUS.now(),
+                codec=codec.name,
+                direction="decompress",
+                uncompressed_bytes=len(data),
+                compressed_bytes=len(payload),
+                seconds=BUS.now() - t0,
+            )
+        )
+    else:
+        data = codec.decompress(payload)
     if len(data) != header.uncompressed_len:
         raise CorruptBlockError(
             f"decompressed length {len(data)} != header claim "

@@ -16,6 +16,15 @@ from typing import Callable, Sequence
 
 from .base import Codec
 
+#: Floor applied to measured durations when deriving rates.  A timed
+#: section faster than the clock can resolve reads as 0 s, and dividing
+#: by it yields ``float("inf")`` — which ``json`` happily serialises as
+#: the *invalid* token ``Infinity``.  Clamping to the clock's own
+#: resolution keeps the rate a finite "at least this fast" bound.
+CLOCK_RESOLUTION_SECONDS = max(
+    time.get_clock_info("perf_counter").resolution, 1e-9
+)
+
 
 @dataclass(frozen=True)
 class CodecMeasurement:
@@ -26,6 +35,10 @@ class CodecMeasurement:
     compress_seconds: float
     decompress_seconds: float
     compressed_bytes: int
+    #: Did every timed repeat produce output of the same size?  True
+    #: for all deterministic codecs; a False here means the ratio below
+    #: is not a stable property of (codec, payload).
+    ratio_stable: bool = True
 
     @property
     def ratio(self) -> float:
@@ -36,15 +49,13 @@ class CodecMeasurement:
 
     @property
     def compress_mb_per_s(self) -> float:
-        if self.compress_seconds <= 0:
-            return float("inf")
-        return self.payload_bytes / 1e6 / self.compress_seconds
+        seconds = max(self.compress_seconds, CLOCK_RESOLUTION_SECONDS)
+        return self.payload_bytes / 1e6 / seconds
 
     @property
     def decompress_mb_per_s(self) -> float:
-        if self.decompress_seconds <= 0:
-            return float("inf")
-        return self.payload_bytes / 1e6 / self.decompress_seconds
+        seconds = max(self.decompress_seconds, CLOCK_RESOLUTION_SECONDS)
+        return self.payload_bytes / 1e6 / seconds
 
 
 def measure_codec(
@@ -60,10 +71,15 @@ def measure_codec(
     compressed = codec.compress(payload)
     best_c = float("inf")
     best_d = float("inf")
+    ratio_stable = True
     for _ in range(repeats):
         t0 = clock()
-        codec.compress(payload)
+        out = codec.compress(payload)
         best_c = min(best_c, clock() - t0)
+        # Best-of-N ratio stability: only the length is compared, so
+        # the check costs nothing beyond the compression already done.
+        if len(out) != len(compressed):
+            ratio_stable = False
         t0 = clock()
         codec.decompress(compressed)
         best_d = min(best_d, clock() - t0)
@@ -73,6 +89,7 @@ def measure_codec(
         compress_seconds=best_c,
         decompress_seconds=best_d,
         compressed_bytes=len(compressed),
+        ratio_stable=ratio_stable,
     )
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List
 
+from ..telemetry.events import BUS, BackoffUpdated
+
 
 class BackoffTable:
     """The ``bck`` array: one exponential backoff exponent per level.
@@ -42,10 +44,25 @@ class BackoffTable:
         """Rate improved at ``level``: probe less often (line 16)."""
         if self._bck[level] < self.MAX_EXPONENT:
             self._bck[level] += 1
+        if BUS.active:
+            BUS.publish(
+                BackoffUpdated(
+                    ts=BUS.now(),
+                    level=level,
+                    exponent=self._bck[level],
+                    action="reward",
+                )
+            )
 
     def punish(self, level: int) -> None:
         """Rate degraded at ``level``: probe eagerly again (line 20)."""
         self._bck[level] = 0
+        if BUS.active:
+            BUS.publish(
+                BackoffUpdated(
+                    ts=BUS.now(), level=level, exponent=0, action="punish"
+                )
+            )
 
     def snapshot(self) -> List[int]:
         """Copy of the exponents (for traces and tests)."""

@@ -15,6 +15,7 @@ import logging
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..telemetry.events import BUS, EpochClosed, LevelSwitched
 from .decision import DEFAULT_ALPHA, DEFAULT_EPOCH_SECONDS, DecisionModel
 from .rate import EpochSample, RateMeter
 
@@ -114,6 +115,29 @@ class AdaptiveController:
         )
         self.trace.append(record)
         self._epoch_index += 1
+        if BUS.active:
+            BUS.publish(
+                EpochClosed(
+                    ts=record.end,
+                    source="controller",
+                    epoch=record.epoch,
+                    start=record.start,
+                    end=record.end,
+                    app_bytes=record.app_bytes,
+                    app_rate=record.app_rate,
+                    level=record.level_after,
+                )
+            )
+            if record.level_changed:
+                BUS.publish(
+                    LevelSwitched(
+                        ts=record.end,
+                        source="controller",
+                        epoch=record.epoch,
+                        level_before=record.level_before,
+                        level_after=record.level_after,
+                    )
+                )
         if record.level_changed and logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "epoch %d: rate %.2f MB/s, level %d -> %d (bck=%s)",

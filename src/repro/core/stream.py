@@ -19,6 +19,7 @@ import time
 from typing import BinaryIO, Callable, Optional
 
 from ..codecs.block import DEFAULT_BLOCK_SIZE, BlockWriter
+from ..telemetry.events import BUS, TransferProgress
 from .controller import AdaptiveController
 from .decision import DEFAULT_ALPHA, DEFAULT_EPOCH_SECONDS
 from .levels import CompressionLevelTable, default_level_table
@@ -107,7 +108,22 @@ class AdaptiveBlockWriter:
         # data rate experienced by the application before compressing
         # the data" (Section I).
         self.controller.record(len(block))
-        self.controller.poll(self._clock())
+        record = self.controller.poll(self._clock())
+        # Per-epoch stream progress: cumulative bytes in/out and the
+        # achieved wire ratio, emitted only at epoch boundaries so the
+        # per-block hot path stays event-free.
+        if record is not None and BUS.active:
+            bytes_in = self._writer.bytes_in
+            bytes_out = self._writer.bytes_out
+            BUS.publish(
+                TransferProgress(
+                    ts=record.end,
+                    source="adaptive-stream",
+                    bytes_in=bytes_in,
+                    bytes_out=bytes_out,
+                    ratio=bytes_out / bytes_in if bytes_in else 1.0,
+                )
+            )
 
     def flush(self) -> None:
         """Emit any buffered partial block."""

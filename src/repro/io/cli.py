@@ -1,6 +1,6 @@
-"""``repro-compress`` — adaptive file compression from the shell.
+"""``repro-compress`` and ``repro-telemetry`` — the shell front ends.
 
-Subcommands:
+``repro-compress`` subcommands:
 
 * ``pack SRC DST`` — compress a file into the self-contained block
   format, adaptively by default (``--level`` forces a static level).
@@ -9,15 +9,24 @@ Subcommands:
 * ``info FILE`` — inspect a packed file without decompressing: block
   count, per-codec histogram, ratios (shows which levels the adaptive
   scheme actually chose over the course of the stream).
+
+``repro-telemetry`` subcommands:
+
+* ``report TRACE.jsonl`` — render a run report (event counts,
+  histogram summaries, level-switch timeline) from a JSONL trace
+  written by :class:`repro.telemetry.exporters.JsonlExporter`, e.g. by
+  ``examples/telemetry_run.py`` or any ``instrumented(...)`` run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..codecs.inspect import scan_block_stream
 from ..core.levels import PAPER_LEVEL_NAMES, default_level_table
+from ..telemetry.report import load_trace, render_report, summarize
 from .streams import compress_file, decompress_file
 
 
@@ -104,6 +113,75 @@ def main(argv=None) -> int:
     try:
         return handlers[args.command](args)
     except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+# -- repro-telemetry ------------------------------------------------
+
+
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-telemetry",
+        description="Inspect JSONL telemetry traces of adaptive-compression runs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="render a run report from a trace")
+    report.add_argument("trace", help="JSONL trace file (JsonlExporter output)")
+    report.add_argument(
+        "--max-switches",
+        type=int,
+        default=20,
+        help="level switches to show in the timeline (default 20)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
+    return parser
+
+
+def cmd_telemetry_report(args: argparse.Namespace) -> int:
+    summary = summarize(load_trace(args.trace))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "total_events": summary.total_events,
+                    "counts_by_type": summary.counts_by_type,
+                    "epochs": summary.epochs,
+                    "app_bytes": summary.app_bytes,
+                    "trace_span_seconds": summary.last_ts - summary.first_ts,
+                    "level_occupancy": {
+                        str(k): v for k, v in sorted(summary.levels_seen.items())
+                    },
+                    "level_switches": [
+                        {"ts": ts, "from": a, "to": b} for ts, a, b in summary.switches
+                    ],
+                    "backoff": summary.backoff,
+                    "app_rate_mbps": summary.app_rate_mbps.summary(),
+                    "compress_seconds": summary.compress_seconds.summary(),
+                    "decompress_seconds": summary.decompress_seconds.summary(),
+                },
+                indent=2,
+                allow_nan=False,
+            )
+        )
+    else:
+        print(render_report(summary, max_switches=args.max_switches))
+    return 0
+
+
+def telemetry_main(argv=None) -> int:
+    args = build_telemetry_parser().parse_args(argv)
+    try:
+        return {"report": cmd_telemetry_report}[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -27,7 +27,11 @@ from ..core.controller import EpochRecord
 from ..core.levels import CompressionLevelTable
 from ..core.stream import AdaptiveBlockWriter, StaticBlockWriter
 from ..data.datasource import DataSource
+from ..telemetry.events import BUS, TransferProgress
 from .throttle import ThrottledWriter, TokenBucket
+
+#: Application bytes between TransferProgress emissions on the sender.
+PROGRESS_EVERY_BYTES = 8 * 1024 * 1024
 
 
 @dataclass
@@ -122,13 +126,38 @@ def run_socket_transfer(
         writer = StaticBlockWriter(sink, static_level, levels, block_size=block_size)
 
     app_bytes = 0
+    next_progress = PROGRESS_EVERY_BYTES
     while True:
         chunk = source.read(chunk_bytes)
         if not chunk:
             break
         writer.write(chunk)
         app_bytes += len(chunk)
+        if BUS.active and app_bytes >= next_progress:
+            next_progress = app_bytes + PROGRESS_EVERY_BYTES
+            BUS.publish(
+                TransferProgress(
+                    ts=BUS.now(),
+                    source="socket",
+                    bytes_in=writer.bytes_in,
+                    bytes_out=writer.bytes_out,
+                    ratio=writer.bytes_out / writer.bytes_in
+                    if writer.bytes_in
+                    else 1.0,
+                )
+            )
     writer.close()
+    if BUS.active:
+        BUS.publish(
+            TransferProgress(
+                ts=BUS.now(),
+                source="socket",
+                bytes_in=writer.bytes_in,
+                bytes_out=writer.bytes_out,
+                ratio=writer.bytes_out / writer.bytes_in if writer.bytes_in else 1.0,
+                done=True,
+            )
+        )
     if static_level is None:
         epochs = list(writer.controller.trace)
     wire_bytes = writer.bytes_out

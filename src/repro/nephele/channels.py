@@ -28,7 +28,24 @@ from ..codecs.block import DEFAULT_BLOCK_SIZE, BlockReader
 from ..core.decision import DEFAULT_ALPHA, DEFAULT_EPOCH_SECONDS
 from ..core.levels import CompressionLevelTable, default_level_table
 from ..core.stream import AdaptiveBlockWriter, StaticBlockWriter
+from ..telemetry.events import BUS, TransferProgress
 from .records import RecordDecoder, encode_record
+
+
+def _emit_channel_progress(writer, source: str) -> None:
+    """Publish a channel's final byte counts (write side just closed)."""
+    bytes_in = writer.bytes_in
+    bytes_out = writer.bytes_out
+    BUS.publish(
+        TransferProgress(
+            ts=BUS.now(),
+            source=source,
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+            ratio=bytes_out / bytes_in if bytes_in else 1.0,
+            done=True,
+        )
+    )
 
 
 class ChannelType(enum.Enum):
@@ -194,6 +211,8 @@ class FileChannel(Channel):
         if self._write_closed:
             return
         self._writer.close()
+        if BUS.active:
+            _emit_channel_progress(self._writer, "file-channel")
         self._sink.flush()
         self._sink.close()
         self._write_closed = True
@@ -261,6 +280,8 @@ class NetworkChannel(Channel):
         if self._write_closed:
             return
         self._writer.close()
+        if BUS.active:
+            _emit_channel_progress(self._writer, "network-channel")
         self._sink.flush()
         self._sink.close()
         self._write_sock.close()

@@ -23,6 +23,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, List, Optional
 
+from ..telemetry.events import BUS, EventBus
+
 
 class SimulationError(Exception):
     """Base class for engine errors."""
@@ -149,10 +151,30 @@ class Environment:
         self._heap: List[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._queued: set[int] = set()
+        self._events_processed = 0
 
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Heap pops executed so far (engine-throughput telemetry)."""
+        return self._events_processed
+
+    def bind_telemetry(self, bus: Optional[EventBus] = None) -> Callable[[], float]:
+        """Drive the telemetry clock with *virtual* time.
+
+        Rebinds ``bus.clock`` to this environment's ``now`` so every
+        event published while the simulation runs — epochs, level
+        switches, backoff updates, spans — is stamped in simulated
+        seconds, giving simulated and real traces one schema.  Returns
+        the previous clock so the caller can restore it afterwards.
+        """
+        bus = bus if bus is not None else BUS
+        previous = bus.clock
+        bus.clock = lambda: self._now
+        return previous
 
     # -- scheduling ---------------------------------------------------
 
@@ -190,6 +212,7 @@ class Environment:
                 return self._now
             heapq.heappop(self._heap)
             self._now = at
+            self._events_processed += 1
             callbacks, event.callbacks = event.callbacks, []
             for callback in callbacks:
                 callback(event)

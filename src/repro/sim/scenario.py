@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 from ..data.corpus import Compressibility
 from ..data.datasource import DataSource, RepeatingSource
+from ..telemetry.events import BUS
 from ..schemes.base import CompressionScheme
 from ..schemes.rate_based import RateBasedScheme
 from ..schemes.static import StaticScheme
@@ -77,38 +78,48 @@ def run_transfer_scenario(config: ScenarioConfig) -> TransferResult:
     env = Environment()
     model = config.model or CodecSimModel()
 
-    link = SharedLink(env, capacity=config.profile.net_app_rate, name="nic")
-    fluctuation = config.fluctuation or config.profile.net_fluctuation
-    fluctuation.start(env, link, rngs.stream("link-fluctuation"))
+    # When telemetry is on, stamp events with simulated seconds for the
+    # duration of this scenario, then restore the caller's clock.
+    previous_clock = env.bind_telemetry(BUS) if BUS.active else None
 
-    background = BackgroundTraffic(env, link, config.n_background)
+    try:
+        link = SharedLink(env, capacity=config.profile.net_app_rate, name="nic")
+        fluctuation = config.fluctuation or config.profile.net_fluctuation
+        fluctuation.start(env, link, rngs.stream("link-fluctuation"))
 
-    if config.source_factory is not None:
-        source = config.source_factory()
-    else:
-        source = RepeatingSource.from_corpus(config.compressibility, config.total_bytes)
+        background = BackgroundTraffic(env, link, config.n_background)
 
-    scheme = config.scheme_factory(model.n_levels)
-    sim = TransferSim(
-        env,
-        link,
-        source,
-        scheme,
-        model,
-        rngs.stream("transfer"),
-        epoch_seconds=config.epoch_seconds,
-        n_background=config.n_background,
-        cpu_loss_per_bg=config.profile.steal_per_bg_flow,
-        compute_jitter=config.profile.compute_jitter,
-        foreground_weight=config.foreground_weight,
-    )
-    proc = env.process(sim.run(), name="transfer")
-    # Background flows and fluctuation processes never end on their
-    # own, so step the clock in slices until the transfer finishes.
-    while not proc.triggered:
-        before = env.now
-        env.run(until=env.now + 300.0)
-        if env.now == before and not proc.triggered:
-            raise RuntimeError("simulation stalled before transfer completion")
-    background.stop()
-    return proc.value
+        if config.source_factory is not None:
+            source = config.source_factory()
+        else:
+            source = RepeatingSource.from_corpus(
+                config.compressibility, config.total_bytes
+            )
+
+        scheme = config.scheme_factory(model.n_levels)
+        sim = TransferSim(
+            env,
+            link,
+            source,
+            scheme,
+            model,
+            rngs.stream("transfer"),
+            epoch_seconds=config.epoch_seconds,
+            n_background=config.n_background,
+            cpu_loss_per_bg=config.profile.steal_per_bg_flow,
+            compute_jitter=config.profile.compute_jitter,
+            foreground_weight=config.foreground_weight,
+        )
+        proc = env.process(sim.run(), name="transfer")
+        # Background flows and fluctuation processes never end on their
+        # own, so step the clock in slices until the transfer finishes.
+        while not proc.triggered:
+            before = env.now
+            env.run(until=env.now + 300.0)
+            if env.now == before and not proc.triggered:
+                raise RuntimeError("simulation stalled before transfer completion")
+        background.stop()
+        return proc.value
+    finally:
+        if previous_clock is not None:
+            BUS.clock = previous_clock

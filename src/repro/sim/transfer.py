@@ -35,6 +35,7 @@ from typing import Generator, List, Optional
 
 from ..data.datasource import DataSource
 from ..schemes.base import CompressionScheme, EpochObservation
+from ..telemetry.events import BUS, EpochClosed, LevelSwitched
 from .calibration import (
     CPU_LOSS_PER_BG_FLOW,
     FOREGROUND_WEIGHT,
@@ -299,6 +300,32 @@ class TransferSim:
             queue_slope=queue_slope,
         )
         next_level = self.scheme.on_epoch(obs)
+        if BUS.active:
+            # Same schema as the real-I/O controller, virtual clock
+            # domain ("sim" source, env.now timestamps).
+            epoch_index = len(self.result.epochs)
+            BUS.publish(
+                EpochClosed(
+                    ts=env.now,
+                    source="sim",
+                    epoch=epoch_index,
+                    start=epoch_start,
+                    end=env.now,
+                    app_bytes=epoch_bytes,
+                    app_rate=app_rate,
+                    level=level,
+                )
+            )
+            if next_level != level:
+                BUS.publish(
+                    LevelSwitched(
+                        ts=env.now,
+                        source="sim",
+                        epoch=epoch_index,
+                        level_before=level,
+                        level_after=next_level,
+                    )
+                )
         self.result.epochs.append(
             TransferEpoch(
                 start=epoch_start,

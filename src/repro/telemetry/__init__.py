@@ -1,0 +1,95 @@
+"""repro.telemetry — metrics, tracing and event-bus observability.
+
+Motivated directly by the paper: Section II shows that metrics
+*displayed inside* a VM are unreliable, which is why Algorithm 1 trusts
+only the application data rate.  This package is the reproduction's own
+measurement layer — it records what the controller, codecs, transports
+and simulator actually did, with one event schema across real and
+simulated runs.
+
+Layers (each its own module):
+
+* :mod:`~repro.telemetry.events` — typed events + synchronous bus.
+  ``BUS.active`` is the global opt-in flag; every instrumented hook in
+  the codebase is free when it is ``False``.
+* :mod:`~repro.telemetry.metrics` — counters, gauges, fixed-bucket
+  histograms (bounded memory, p50/p90/p99).
+* :mod:`~repro.telemetry.spans` — ``with span("compress", level=2):``
+  tracing with a pluggable clock (the simulator drives virtual time).
+* :mod:`~repro.telemetry.exporters` — JSONL traces, Prometheus text,
+  in-memory capture.
+* :mod:`~repro.telemetry.instrument` — ``instrumented(...)`` one-call
+  wiring for a run.
+* :mod:`~repro.telemetry.report` — run-report rendering for the
+  ``repro-telemetry`` CLI.
+"""
+
+from .events import (
+    BUS,
+    BackoffUpdated,
+    BlockCompressed,
+    EpochClosed,
+    EventBus,
+    LevelSwitched,
+    SpanClosed,
+    TelemetryEvent,
+    TransferProgress,
+    enabled,
+    get_bus,
+)
+from .exporters import (
+    InMemoryExporter,
+    JsonlExporter,
+    PrometheusTextExporter,
+    event_to_dict,
+)
+from .instrument import TelemetrySession, install_metric_subscribers, instrumented
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .report import TraceSummary, load_trace, render_report, summarize
+from .spans import current_depth, span
+
+__all__ = [
+    # events
+    "TelemetryEvent",
+    "EpochClosed",
+    "LevelSwitched",
+    "BlockCompressed",
+    "TransferProgress",
+    "BackoffUpdated",
+    "SpanClosed",
+    "EventBus",
+    "BUS",
+    "get_bus",
+    "enabled",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    # spans
+    "span",
+    "current_depth",
+    # exporters
+    "InMemoryExporter",
+    "JsonlExporter",
+    "PrometheusTextExporter",
+    "event_to_dict",
+    # instrument
+    "instrumented",
+    "install_metric_subscribers",
+    "TelemetrySession",
+    # report
+    "TraceSummary",
+    "load_trace",
+    "summarize",
+    "render_report",
+]

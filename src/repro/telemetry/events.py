@@ -1,0 +1,210 @@
+"""Typed telemetry events and the synchronous event bus.
+
+The bus is the single funnel every instrumented code path publishes
+into.  Design constraints (see docs/telemetry.md):
+
+* **Zero cost when idle.**  Emitting sites guard on ``BUS.active`` (a
+  plain attribute read) and construct the event object only inside the
+  guard, so a run with no subscribers allocates nothing per event.
+  ``EventBus.published`` counts constructed-and-delivered events, which
+  is how tests assert the fast path really was taken.
+* **Synchronous, ordered delivery.**  ``publish`` invokes subscribers
+  in registration order before it returns; events arrive in exactly
+  the order the instrumented code emitted them.  There is no queue and
+  no thread — an exporter that needs buffering does its own.
+* **One pluggable clock.**  ``EventBus.clock`` defaults to
+  ``time.perf_counter``; the simulator rebinds it to virtual time (via
+  :meth:`repro.sim.engine.Environment.bind_telemetry`) so simulated
+  and real runs produce traces with one schema and comparable
+  timestamps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple, Type
+
+__all__ = [
+    "TelemetryEvent",
+    "EpochClosed",
+    "LevelSwitched",
+    "BlockCompressed",
+    "TransferProgress",
+    "BackoffUpdated",
+    "SpanClosed",
+    "EventBus",
+    "BUS",
+    "get_bus",
+    "enabled",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """Base class: every event carries a clock timestamp ``ts``."""
+
+    ts: float
+
+
+@dataclass(frozen=True, slots=True)
+class EpochClosed(TelemetryEvent):
+    """A controller/scheme epoch ended and a decision was taken.
+
+    Emitted by :class:`repro.core.controller.AdaptiveController` on the
+    real I/O path (``source="controller"``) and by
+    :class:`repro.sim.transfer.TransferSim` in the simulator
+    (``source="sim"``) — same schema, different clock domain.
+    """
+
+    source: str
+    epoch: int
+    start: float
+    end: float
+    app_bytes: float
+    app_rate: float
+    level: int
+
+
+@dataclass(frozen=True, slots=True)
+class LevelSwitched(TelemetryEvent):
+    """The compression level actually changed at an epoch boundary."""
+
+    source: str
+    epoch: int
+    level_before: int
+    level_after: int
+
+
+@dataclass(frozen=True, slots=True)
+class BlockCompressed(TelemetryEvent):
+    """One 128 KB-class block went through a codec.
+
+    ``direction`` is ``"compress"`` or ``"decompress"``; ``seconds`` is
+    measured with the bus clock (zero under a virtual clock, which is
+    fine — the simulator prices codecs analytically, not by running
+    them).
+    """
+
+    codec: str
+    direction: str
+    uncompressed_bytes: int
+    compressed_bytes: int
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class TransferProgress(TelemetryEvent):
+    """Cumulative bytes through a transport (stream, socket, channel)."""
+
+    source: str
+    bytes_in: int
+    bytes_out: int
+    ratio: float
+    done: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class BackoffUpdated(TelemetryEvent):
+    """Algorithm 1 rewarded or punished a level's backoff exponent."""
+
+    level: int
+    exponent: int
+    action: str  # "reward" | "punish"
+
+
+@dataclass(frozen=True, slots=True)
+class SpanClosed(TelemetryEvent):
+    """A tracing span (``with span(...)``) exited."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    tags: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+#: All event classes, for exporters and the report renderer.
+EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
+    EpochClosed,
+    LevelSwitched,
+    BlockCompressed,
+    TransferProgress,
+    BackoffUpdated,
+    SpanClosed,
+)
+
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class EventBus:
+    """Synchronous pub/sub hub with a registration-order guarantee."""
+
+    __slots__ = ("_subscribers", "active", "published", "clock")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._subscribers: List[Tuple[Optional[type], Subscriber]] = []
+        #: The module-level "telemetry enabled" flag: True iff at least
+        #: one subscriber is attached.  Hot paths read this attribute
+        #: and skip event construction entirely when it is False.
+        self.active = False
+        #: Events delivered since construction/reset (the zero-subscriber
+        #: fast-path assertion counter).
+        self.published = 0
+        self.clock = clock
+
+    def now(self) -> float:
+        """Current time on the bus clock (wall or virtual)."""
+        return self.clock()
+
+    def subscribe(
+        self,
+        fn: Subscriber,
+        event_type: Optional[type] = None,
+    ) -> Tuple[Optional[type], Subscriber]:
+        """Register ``fn`` for all events (or one ``event_type``).
+
+        Returns an opaque handle for :meth:`unsubscribe`.
+        """
+        handle = (event_type, fn)
+        self._subscribers.append(handle)
+        self.active = True
+        return handle
+
+    def unsubscribe(self, handle: Tuple[Optional[type], Subscriber]) -> None:
+        try:
+            self._subscribers.remove(handle)
+        except ValueError:
+            pass
+        self.active = bool(self._subscribers)
+
+    def clear(self) -> None:
+        """Drop all subscribers and zero the delivery counter."""
+        self._subscribers.clear()
+        self.active = False
+        self.published = 0
+
+    def publish(self, event: TelemetryEvent) -> None:
+        """Deliver ``event`` to subscribers, in registration order."""
+        self.published += 1
+        for event_type, fn in self._subscribers:
+            if event_type is None or isinstance(event, event_type):
+                fn(event)
+
+
+#: The process-wide default bus all built-in hooks publish to.
+BUS = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The process-wide default bus."""
+    return BUS
+
+
+def enabled() -> bool:
+    """Is any subscriber attached to the default bus?"""
+    return BUS.active

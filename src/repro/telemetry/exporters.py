@@ -1,0 +1,169 @@
+"""Exporters: JSONL event traces, Prometheus text, in-memory capture.
+
+``JsonlExporter`` and ``InMemoryExporter`` subscribe to an event bus;
+``PrometheusTextExporter`` renders a metrics registry on demand.  All
+numeric output is sanitised so a trace is always *valid* JSON —
+``inf``/``nan`` become ``null`` (the paper-adjacent lesson from
+``codecs/stats.py``: a clock tie must never leak ``Infinity`` into a
+serialised artifact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import IO, Any, Dict, List, Optional, Union
+
+from .events import BUS, EventBus, TelemetryEvent
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "event_to_dict",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "PrometheusTextExporter",
+]
+
+
+def _sanitize(value: Any) -> Any:
+    """Make a value JSON-safe: non-finite floats become ``None``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+def event_to_dict(event: TelemetryEvent) -> Dict[str, Any]:
+    """Event → plain dict with a ``type`` discriminator field."""
+    out: Dict[str, Any] = {"type": type(event).__name__}
+    for field in dataclasses.fields(event):
+        out[field.name] = _sanitize(getattr(event, field.name))
+    if "tags" in out and out["tags"]:
+        out["tags"] = {str(k): _sanitize(v) for k, v in out["tags"]}
+    return out
+
+
+class _BusExporter:
+    """Common attach/detach plumbing for event-consuming exporters."""
+
+    def __init__(self) -> None:
+        self._bus: Optional[EventBus] = None
+        self._handle = None
+
+    def attach(self, bus: Optional[EventBus] = None) -> "_BusExporter":
+        if self._bus is not None:
+            raise RuntimeError("exporter already attached")
+        self._bus = bus if bus is not None else BUS
+        self._handle = self._bus.subscribe(self.handle)
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self._handle)
+            self._bus = None
+            self._handle = None
+
+    def handle(self, event: TelemetryEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __enter__(self) -> "_BusExporter":
+        return self.attach() if self._bus is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+
+class InMemoryExporter(_BusExporter):
+    """Collect events into a list — the test exporter."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[TelemetryEvent] = []
+
+    def handle(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: type) -> List[TelemetryEvent]:
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlExporter(_BusExporter):
+    """Write one JSON object per event to a file or file-like object."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        super().__init__()
+        if isinstance(target, str):
+            self._fp: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_fp = True
+        else:
+            self._fp = target
+            self._owns_fp = False
+        self.events_written = 0
+
+    def handle(self, event: TelemetryEvent) -> None:
+        line = json.dumps(
+            event_to_dict(event), separators=(",", ":"), allow_nan=False
+        )
+        self._fp.write(line + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self.detach()
+        self._fp.flush()
+        if self._owns_fp:
+            self._fp.close()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _prom_name(name: str) -> str:
+    """Metric name → Prometheus-legal name (dots/dashes → underscores)."""
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def _prom_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+class PrometheusTextExporter:
+    """Render a :class:`MetricsRegistry` in Prometheus text format.
+
+    Pull-style: call :meth:`render` whenever a scrape (or a test)
+    wants the current state; nothing subscribes to the bus.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for name, metric in self.registry:
+            pname = _prom_name(name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {_prom_number(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_prom_number(metric.value)}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {pname} histogram")
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.counts):
+                    cumulative += count
+                    lines.append(
+                        f'{pname}_bucket{{le="{_prom_number(bound)}"}} {cumulative}'
+                    )
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{pname}_sum {_prom_number(metric.sum)}")
+                lines.append(f"{pname}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,154 @@
+"""Opt-in wiring: turn raw events into metrics and exported traces.
+
+Nothing in :mod:`repro` records telemetry until something here (or a
+hand-rolled subscriber) attaches to the bus — the instrumented hooks in
+``core``, ``codecs``, ``io``, ``nephele`` and ``sim`` all no-op while
+``BUS.active`` is false.
+
+The two entry points:
+
+* :func:`install_metric_subscribers` — subscribe the event→metric
+  bridge (counters, byte totals, latency histograms) to a bus.
+* :func:`instrumented` — context manager that wires everything for one
+  run: metric bridge, optional JSONL trace file, optional in-memory
+  capture, and clock override; detaches and restores on exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+from .events import (
+    BUS,
+    BackoffUpdated,
+    BlockCompressed,
+    EpochClosed,
+    EventBus,
+    LevelSwitched,
+    SpanClosed,
+    TransferProgress,
+)
+from .exporters import InMemoryExporter, JsonlExporter, PrometheusTextExporter
+from .metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["install_metric_subscribers", "instrumented", "TelemetrySession"]
+
+#: Bucket edges for application/wire rates in MB/s.
+RATE_MBPS_BUCKETS = (1, 2, 5, 10, 20, 40, 60, 80, 100, 150, 200, 400, 800)
+
+
+def install_metric_subscribers(
+    bus: Optional[EventBus] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[object]:
+    """Bridge events into ``registry``; returns unsubscribe handles."""
+    bus = bus if bus is not None else BUS
+    registry = registry if registry is not None else REGISTRY
+
+    def on_epoch(event: EpochClosed) -> None:
+        registry.counter("epochs.closed").inc()
+        registry.counter("epochs.app_bytes").inc(event.app_bytes)
+        registry.histogram("epochs.app_rate_mbps", RATE_MBPS_BUCKETS).observe(
+            event.app_rate / 1e6
+        )
+        registry.gauge("level.current").set(event.level)
+
+    def on_switch(event: LevelSwitched) -> None:
+        registry.counter("level.switches").inc()
+        registry.gauge("level.current").set(event.level_after)
+
+    def on_block(event: BlockCompressed) -> None:
+        registry.counter(f"blocks.{event.direction}").inc()
+        registry.counter(f"blocks.{event.direction}.bytes_in").inc(
+            event.uncompressed_bytes
+            if event.direction == "compress"
+            else event.compressed_bytes
+        )
+        registry.histogram(f"codec.{event.direction}.seconds").observe(event.seconds)
+
+    def on_progress(event: TransferProgress) -> None:
+        registry.gauge(f"transfer.{event.source}.bytes_in").set(event.bytes_in)
+        registry.gauge(f"transfer.{event.source}.bytes_out").set(event.bytes_out)
+        registry.gauge(f"transfer.{event.source}.ratio").set(event.ratio)
+        if event.done:
+            registry.counter(f"transfer.{event.source}.completed").inc()
+
+    def on_backoff(event: BackoffUpdated) -> None:
+        registry.counter(f"backoff.{event.action}").inc()
+
+    def on_span(event: SpanClosed) -> None:
+        registry.histogram(f"span.{event.name}.seconds").observe(event.seconds)
+
+    return [
+        bus.subscribe(on_epoch, EpochClosed),
+        bus.subscribe(on_switch, LevelSwitched),
+        bus.subscribe(on_block, BlockCompressed),
+        bus.subscribe(on_progress, TransferProgress),
+        bus.subscribe(on_backoff, BackoffUpdated),
+        bus.subscribe(on_span, SpanClosed),
+    ]
+
+
+class TelemetrySession:
+    """Handle yielded by :func:`instrumented`."""
+
+    def __init__(
+        self,
+        bus: EventBus,
+        registry: MetricsRegistry,
+        memory: Optional[InMemoryExporter],
+        jsonl: Optional[JsonlExporter],
+    ) -> None:
+        self.bus = bus
+        self.registry = registry
+        self.memory = memory
+        self.jsonl = jsonl
+
+    def prometheus_text(self) -> str:
+        return PrometheusTextExporter(self.registry).render()
+
+    def metrics_snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+@contextmanager
+def instrumented(
+    jsonl_path: Optional[str] = None,
+    *,
+    bus: Optional[EventBus] = None,
+    registry: Optional[MetricsRegistry] = None,
+    capture_events: bool = False,
+    clock: Optional[Callable[[], float]] = None,
+) -> Iterator[TelemetrySession]:
+    """Enable telemetry for the duration of a ``with`` block.
+
+    Attaches the metric bridge to the (default) bus, optionally a JSONL
+    trace exporter and an in-memory capture, optionally overrides the
+    bus clock, and undoes all of it on exit — including restoring the
+    previous clock, so nested/sequential sessions compose.
+    """
+    bus = bus if bus is not None else BUS
+    registry = registry if registry is not None else MetricsRegistry()
+    previous_clock = bus.clock
+    if clock is not None:
+        bus.clock = clock
+
+    handles = install_metric_subscribers(bus, registry)
+    memory = InMemoryExporter() if capture_events else None
+    if memory is not None:
+        memory.attach(bus)
+    jsonl = JsonlExporter(jsonl_path) if jsonl_path is not None else None
+    if jsonl is not None:
+        jsonl.attach(bus)
+
+    try:
+        yield TelemetrySession(bus, registry, memory, jsonl)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+        if memory is not None:
+            memory.detach()
+        for handle in handles:
+            bus.unsubscribe(handle)
+        bus.clock = previous_clock

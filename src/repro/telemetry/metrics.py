@@ -1,0 +1,226 @@
+"""Named counters, gauges and fixed-bucket histograms.
+
+Memory is bounded by construction: a counter/gauge is two attributes,
+and a histogram holds a fixed bucket array plus a fixed-size ring
+buffer of recent raw samples (for exact min/max over the tail).  There
+is no unbounded per-sample storage anywhere, so a registry can stay
+attached to a multi-hour run.
+
+Percentiles are estimated from the bucket counts with linear
+interpolation inside the bucket — the standard Prometheus
+``histogram_quantile`` rule — so their error is bounded by the bucket
+width, not by the sample count.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Seconds-scale buckets suited to codec/block latencies (1 µs – 10 s).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, blocks)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (current level, queue depth, sim time)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with a bounded ring of raw samples.
+
+    ``bounds`` are the *upper* edges of the finite buckets; one
+    overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "_ring", "_ring_pos")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        ring_size: int = 128,
+    ) -> None:
+        if not buckets:
+            raise ValueError("need at least one bucket bound")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.name = name
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._ring: List[float] = [0.0] * max(1, ring_size)
+        self._ring_pos = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        ring = self._ring
+        ring[self._ring_pos % len(ring)] = value
+        self._ring_pos += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def recent(self) -> List[float]:
+        """The last ``ring_size`` raw samples, oldest first."""
+        n = min(self._ring_pos, len(self._ring))
+        if n < len(self._ring):
+            return self._ring[:n]
+        start = self._ring_pos % len(self._ring)
+        return self._ring[start:] + self._ring[:start]
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (``0 < p <= 100``).
+
+        Linear interpolation inside the containing bucket; samples in
+        the overflow bucket report the last finite bound (a known
+        floor, never an invented value).
+        """
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if i >= len(self.bounds):  # overflow bucket
+                    return self.bounds[-1]
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                frac = (rank - cumulative) / bucket_count
+                return lower + frac * (upper - lower)
+            cumulative += bucket_count
+        return self.bounds[-1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    asking for the same name as a different kind is an error (it would
+    silently fork the data otherwise).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        ring_size: int = 128,
+    ) -> Histogram:
+        return self._get_or_create(
+            name,
+            Histogram,
+            lambda: Histogram(name, buckets or DEFAULT_LATENCY_BUCKETS, ring_size),
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterable[Tuple[str, object]]:
+        return iter(sorted(self._metrics.items()))
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every metric (for JSON and tests)."""
+        out: Dict[str, object] = {}
+        for name, metric in self:
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value  # type: ignore[union-attr]
+        return out
+
+
+#: Default process-wide registry used by :mod:`repro.telemetry.instrument`.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return REGISTRY

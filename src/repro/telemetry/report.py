@@ -1,0 +1,204 @@
+"""Render a run report from a JSONL telemetry trace.
+
+Consumed by the ``repro-telemetry`` CLI: reads a trace written by
+:class:`~repro.telemetry.exporters.JsonlExporter` (real run or
+simulated — one schema) and prints top-level counters, histogram
+summaries and the level-switch timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Dict, Iterable, List, Tuple, Union
+
+from .metrics import Histogram
+
+__all__ = ["TraceSummary", "load_trace", "summarize", "render_report"]
+
+
+@dataclass
+class TraceSummary:
+    """Everything the report renderer needs, parsed once."""
+
+    total_events: int = 0
+    counts_by_type: Dict[str, int] = field(default_factory=dict)
+    epochs: int = 0
+    app_bytes: float = 0.0
+    first_ts: float = 0.0
+    last_ts: float = 0.0
+    levels_seen: Dict[int, int] = field(default_factory=dict)
+    switches: List[Tuple[float, int, int]] = field(default_factory=list)
+    backoff: Dict[str, int] = field(default_factory=dict)
+    app_rate_mbps: Histogram = field(
+        default_factory=lambda: Histogram(
+            "app_rate_mbps", (1, 2, 5, 10, 20, 40, 60, 80, 100, 150, 200, 400, 800)
+        )
+    )
+    compress_seconds: Histogram = field(
+        default_factory=lambda: Histogram("compress_seconds")
+    )
+    decompress_seconds: Histogram = field(
+        default_factory=lambda: Histogram("decompress_seconds")
+    )
+    transfers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    span_seconds: Dict[str, Histogram] = field(default_factory=dict)
+
+
+def load_trace(source: Union[str, IO[str]]) -> Iterable[dict]:
+    """Yield event dicts from a JSONL file path or file-like object."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fp:
+            yield from load_trace(fp)
+        return
+    for lineno, line in enumerate(source, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno} is not valid JSON: {exc}") from exc
+
+
+def summarize(events: Iterable[dict]) -> TraceSummary:
+    """Fold a stream of event dicts into a :class:`TraceSummary`."""
+    s = TraceSummary()
+    for ev in events:
+        etype = ev.get("type", "?")
+        s.counts_by_type[etype] = s.counts_by_type.get(etype, 0) + 1
+        ts = ev.get("ts")
+        if isinstance(ts, (int, float)):
+            if s.total_events == 0:
+                s.first_ts = float(ts)
+            s.last_ts = float(ts)
+        s.total_events += 1
+
+        if etype == "EpochClosed":
+            s.epochs += 1
+            s.app_bytes += float(ev.get("app_bytes") or 0.0)
+            rate = ev.get("app_rate")
+            if isinstance(rate, (int, float)):
+                s.app_rate_mbps.observe(float(rate) / 1e6)
+            level = ev.get("level")
+            if isinstance(level, int):
+                s.levels_seen[level] = s.levels_seen.get(level, 0) + 1
+        elif etype == "LevelSwitched":
+            s.switches.append(
+                (
+                    float(ev.get("ts") or 0.0),
+                    int(ev.get("level_before", -1)),
+                    int(ev.get("level_after", -1)),
+                )
+            )
+        elif etype == "BackoffUpdated":
+            action = str(ev.get("action", "?"))
+            s.backoff[action] = s.backoff.get(action, 0) + 1
+        elif etype == "BlockCompressed":
+            seconds = ev.get("seconds")
+            if isinstance(seconds, (int, float)):
+                hist = (
+                    s.compress_seconds
+                    if ev.get("direction") == "compress"
+                    else s.decompress_seconds
+                )
+                hist.observe(float(seconds))
+        elif etype == "TransferProgress":
+            src = str(ev.get("source", "?"))
+            s.transfers[src] = {
+                "bytes_in": float(ev.get("bytes_in") or 0.0),
+                "bytes_out": float(ev.get("bytes_out") or 0.0),
+                "ratio": float(ev.get("ratio") or 0.0),
+            }
+        elif etype == "SpanClosed":
+            name = str(ev.get("name", "?"))
+            hist = s.span_seconds.setdefault(name, Histogram(name))
+            start, end = ev.get("start"), ev.get("end")
+            if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+                hist.observe(float(end) - float(start))
+    return s
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit, div in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if n >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def _fmt_hist(hist: Histogram, unit: str) -> str:
+    if hist.count == 0:
+        return "(no samples)"
+    return (
+        f"n={hist.count}  mean={hist.mean:.4g}{unit}  "
+        f"p50={hist.percentile(50):.4g}{unit}  "
+        f"p90={hist.percentile(90):.4g}{unit}  "
+        f"p99={hist.percentile(99):.4g}{unit}"
+    )
+
+
+def render_report(s: TraceSummary, *, max_switches: int = 20) -> str:
+    """Human-readable run report for one trace."""
+    lines: List[str] = []
+    span_secs = s.last_ts - s.first_ts
+    lines.append("== telemetry run report ==")
+    lines.append(
+        f"events: {s.total_events}  trace span: {span_secs:.2f}s "
+        f"({s.first_ts:.2f} -> {s.last_ts:.2f})"
+    )
+    lines.append("")
+    lines.append("-- event counts --")
+    for etype, count in sorted(s.counts_by_type.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {etype:18s} {count:8d}")
+
+    if s.epochs:
+        lines.append("")
+        lines.append("-- epochs --")
+        lines.append(f"  closed: {s.epochs}  app bytes: {_fmt_bytes(s.app_bytes)}")
+        lines.append(f"  app rate  {_fmt_hist(s.app_rate_mbps, ' MB/s')}")
+        if s.levels_seen:
+            dist = "  ".join(
+                f"L{level}:{count}" for level, count in sorted(s.levels_seen.items())
+            )
+            lines.append(f"  level occupancy (epochs): {dist}")
+
+    if s.backoff:
+        lines.append("")
+        lines.append("-- backoff --")
+        lines.append(
+            "  "
+            + "  ".join(f"{k}: {v}" for k, v in sorted(s.backoff.items()))
+        )
+
+    if s.compress_seconds.count or s.decompress_seconds.count:
+        lines.append("")
+        lines.append("-- block codec latency --")
+        lines.append(f"  compress    {_fmt_hist(s.compress_seconds, 's')}")
+        lines.append(f"  decompress  {_fmt_hist(s.decompress_seconds, 's')}")
+
+    if s.transfers:
+        lines.append("")
+        lines.append("-- transfers (final progress) --")
+        for src, t in sorted(s.transfers.items()):
+            lines.append(
+                f"  {src:16s} in {_fmt_bytes(t['bytes_in'])}  "
+                f"out {_fmt_bytes(t['bytes_out'])}  ratio {t['ratio']:.3f}"
+            )
+
+    if s.span_seconds:
+        lines.append("")
+        lines.append("-- spans --")
+        for name, hist in sorted(s.span_seconds.items()):
+            lines.append(f"  {name:16s} {_fmt_hist(hist, 's')}")
+
+    if s.switches:
+        lines.append("")
+        lines.append("-- level-switch timeline --")
+        shown = s.switches[:max_switches]
+        lines.append(
+            "  "
+            + "  ".join(f"{ts:.2f}s:{a}->{b}" for ts, a, b in shown)
+            + (f"  ... ({len(s.switches) - max_switches} more)"
+               if len(s.switches) > max_switches else "")
+        )
+    return "\n".join(lines)

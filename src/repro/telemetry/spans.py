@@ -1,0 +1,75 @@
+"""Context-manager tracing spans.
+
+    with span("compress", level=2):
+        ...
+
+On exit a :class:`~repro.telemetry.events.SpanClosed` event is
+published with the span's start/end (bus clock — virtual time under
+the simulator) and its nesting depth.  When no subscriber is attached
+the span body runs with no clock reads, no allocations beyond the span
+object itself, and no event construction.
+
+Nesting is tracked per thread; concurrent senders each get their own
+depth counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from .events import BUS, EventBus, SpanClosed
+
+__all__ = ["span", "current_depth"]
+
+_local = threading.local()
+
+
+def current_depth() -> int:
+    """Depth of the innermost open span on this thread (0 = none)."""
+    return getattr(_local, "depth", 0)
+
+
+class span:
+    """Time a code region and publish it as a ``SpanClosed`` event.
+
+    Parameters are the span name plus arbitrary keyword tags recorded
+    (sorted) on the event.  Pass ``bus=`` to target a non-default bus,
+    e.g. in tests.
+    """
+
+    __slots__ = ("name", "tags", "bus", "start", "_depth")
+
+    def __init__(self, name: str, bus: Optional[EventBus] = None, **tags: Any) -> None:
+        self.name = name
+        self.tags = tags
+        self.bus = bus if bus is not None else BUS
+        self.start: Optional[float] = None
+        self._depth = 0
+
+    def __enter__(self) -> "span":
+        bus = self.bus
+        if not bus.active:
+            self.start = None
+            return self
+        self._depth = getattr(_local, "depth", 0)
+        _local.depth = self._depth + 1
+        self.start = bus.now()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.start is None:
+            return
+        bus = self.bus
+        end = bus.now()
+        _local.depth = self._depth
+        bus.publish(
+            SpanClosed(
+                ts=end,
+                name=self.name,
+                start=self.start,
+                end=end,
+                depth=self._depth,
+                tags=tuple(sorted(self.tags.items())),
+            )
+        )

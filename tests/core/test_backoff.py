@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import BackoffTable
+from repro.telemetry.events import BUS, BackoffUpdated
 
 
 class TestBackoffTable:
@@ -37,11 +38,39 @@ class TestBackoffTable:
         assert table.exponent(0) == BackoffTable.MAX_EXPONENT
         assert table.threshold(0) == 1 << BackoffTable.MAX_EXPONENT
 
+    def test_saturated_exponent_stays_at_cap(self):
+        table = BackoffTable(2)
+        for _ in range(BackoffTable.MAX_EXPONENT):
+            table.reward(1)
+        saturated = table.threshold(1)
+        table.reward(1)
+        table.reward(1)
+        assert table.threshold(1) == saturated
+        assert table.exponent(1) == BackoffTable.MAX_EXPONENT
+
+    def test_punish_after_reward_resets_threshold_to_one(self):
+        table = BackoffTable(4)
+        table.reward(2)
+        table.reward(2)
+        assert table.threshold(2) == 4
+        table.punish(2)
+        assert table.threshold(2) == 1
+        # And the cycle restarts cleanly from the reset exponent.
+        table.reward(2)
+        assert table.threshold(2) == 2
+
     def test_snapshot_is_copy(self):
         table = BackoffTable(3)
         snap = table.snapshot()
         snap[0] = 99
         assert table.exponent(0) == 0
+
+    def test_snapshot_isolated_from_later_mutation(self):
+        table = BackoffTable(3)
+        snap = table.snapshot()
+        table.reward(1)
+        assert snap == [0, 0, 0]
+        assert table.snapshot() == [0, 1, 0]
 
     def test_len(self):
         assert len(BackoffTable(5)) == 5
@@ -49,6 +78,34 @@ class TestBackoffTable:
     def test_validation(self):
         with pytest.raises(ValueError):
             BackoffTable(0)
+
+    def test_reward_and_punish_emit_telemetry(self):
+        got = []
+        handle = BUS.subscribe(got.append, BackoffUpdated)
+        try:
+            table = BackoffTable(4)
+            table.reward(2)
+            table.reward(2)
+            table.punish(2)
+        finally:
+            BUS.unsubscribe(handle)
+        assert [(e.action, e.level, e.exponent) for e in got] == [
+            ("reward", 2, 1),
+            ("reward", 2, 2),
+            ("punish", 2, 0),
+        ]
+
+    def test_reward_at_cap_emits_saturated_exponent(self):
+        table = BackoffTable(2)
+        for _ in range(BackoffTable.MAX_EXPONENT):
+            table.reward(0)
+        got = []
+        handle = BUS.subscribe(got.append, BackoffUpdated)
+        try:
+            table.reward(0)
+        finally:
+            BUS.unsubscribe(handle)
+        assert got[0].exponent == BackoffTable.MAX_EXPONENT
 
     @given(
         ops=st.lists(

@@ -1,0 +1,19 @@
+"""Telemetry test fixtures: keep the process-wide bus pristine."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.telemetry.events import BUS
+
+
+@pytest.fixture(autouse=True)
+def clean_default_bus():
+    """Reset the default bus (subscribers, counter, clock) around each test."""
+    BUS.clear()
+    BUS.clock = time.perf_counter
+    yield
+    BUS.clear()
+    BUS.clock = time.perf_counter

@@ -1,0 +1,142 @@
+"""Event bus: delivery order, filtering, and the zero-subscriber fast path."""
+
+from __future__ import annotations
+
+from repro.codecs.block import encode_block
+from repro.codecs.zlib_codec import LightZlibCodec
+from repro.core.backoff import BackoffTable
+from repro.core.controller import AdaptiveController
+from repro.telemetry.events import (
+    BUS,
+    BackoffUpdated,
+    EpochClosed,
+    EventBus,
+    LevelSwitched,
+    TelemetryEvent,
+)
+
+
+def make_event(ts: float = 0.0) -> BackoffUpdated:
+    return BackoffUpdated(ts=ts, level=1, exponent=2, action="reward")
+
+
+class TestEventBus:
+    def test_publish_delivers_to_subscriber(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append)
+        event = make_event()
+        bus.publish(event)
+        assert got == [event]
+        assert bus.published == 1
+
+    def test_delivery_order_matches_publish_order(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append)
+        events = [make_event(ts=float(i)) for i in range(10)]
+        for event in events:
+            bus.publish(event)
+        assert got == events
+
+    def test_subscribers_called_in_registration_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(lambda e: calls.append("first"))
+        bus.subscribe(lambda e: calls.append("second"))
+        bus.subscribe(lambda e: calls.append("third"))
+        bus.publish(make_event())
+        assert calls == ["first", "second", "third"]
+
+    def test_type_filtered_subscription(self):
+        bus = EventBus()
+        backoffs, everything = [], []
+        bus.subscribe(backoffs.append, BackoffUpdated)
+        bus.subscribe(everything.append)
+        backoff = make_event()
+        epoch = EpochClosed(
+            ts=1.0, source="t", epoch=0, start=0.0, end=1.0,
+            app_bytes=10, app_rate=10.0, level=0,
+        )
+        bus.publish(backoff)
+        bus.publish(epoch)
+        assert backoffs == [backoff]
+        assert everything == [backoff, epoch]
+
+    def test_unsubscribe_deactivates_when_empty(self):
+        bus = EventBus()
+        handle = bus.subscribe(lambda e: None)
+        assert bus.active
+        bus.unsubscribe(handle)
+        assert not bus.active
+        # Double-unsubscribe is harmless.
+        bus.unsubscribe(handle)
+
+    def test_clock_is_pluggable(self):
+        bus = EventBus(clock=lambda: 42.0)
+        assert bus.now() == 42.0
+        bus.clock = lambda: 43.0
+        assert bus.now() == 43.0
+
+
+class TestZeroSubscriberFastPath:
+    """With no subscriber, instrumented code must not construct events.
+
+    ``BUS.published`` counts every event object that reached the bus,
+    so an unchanged counter proves the hooks never allocated one.
+    """
+
+    def test_controller_epochs_publish_nothing(self):
+        assert not BUS.active
+        before = BUS.published
+        controller = AdaptiveController(n_levels=4, epoch_seconds=1.0)
+        for i in range(50):
+            controller.record(1000)
+            controller.force_decision(float(i + 1))
+        assert BUS.published == before
+
+    def test_block_encode_publishes_nothing(self):
+        before = BUS.published
+        for _ in range(20):
+            encode_block(b"payload " * 512, LightZlibCodec())
+        assert BUS.published == before
+
+    def test_backoff_updates_publish_nothing(self):
+        before = BUS.published
+        table = BackoffTable(4)
+        for _ in range(100):
+            table.reward(2)
+            table.punish(2)
+        assert BUS.published == before
+
+    def test_with_subscriber_events_flow_again(self):
+        got = []
+        BUS.subscribe(got.append, BackoffUpdated)
+        table = BackoffTable(4)
+        table.reward(0)
+        assert len(got) == 1 and got[0].action == "reward"
+
+
+class TestInstrumentedEmission:
+    def test_controller_emits_epoch_and_switch(self):
+        got: list[TelemetryEvent] = []
+        BUS.subscribe(got.append)
+        controller = AdaptiveController(n_levels=4, epoch_seconds=1.0)
+        controller.record(10_000)
+        controller.force_decision(1.0)  # first decision probes level 1
+        epochs = [e for e in got if isinstance(e, EpochClosed)]
+        switches = [e for e in got if isinstance(e, LevelSwitched)]
+        assert len(epochs) == 1
+        assert epochs[0].source == "controller"
+        assert epochs[0].app_bytes == 10_000
+        assert len(switches) == 1
+        assert (switches[0].level_before, switches[0].level_after) == (0, 1)
+
+    def test_events_are_immutable(self):
+        event = make_event()
+        try:
+            event.level = 3  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("frozen event accepted mutation")

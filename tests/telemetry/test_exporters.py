@@ -1,0 +1,123 @@
+"""Exporters: JSONL validity, Prometheus text shape, in-memory capture."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.events import (
+    BUS,
+    BlockCompressed,
+    EpochClosed,
+    EventBus,
+    SpanClosed,
+)
+from repro.telemetry.exporters import (
+    InMemoryExporter,
+    JsonlExporter,
+    PrometheusTextExporter,
+    event_to_dict,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def sample_epoch(ts: float = 1.0, rate: float = 5e7) -> EpochClosed:
+    return EpochClosed(
+        ts=ts, source="test", epoch=0, start=0.0, end=ts,
+        app_bytes=1000, app_rate=rate, level=1,
+    )
+
+
+class TestEventToDict:
+    def test_includes_type_and_fields(self):
+        d = event_to_dict(sample_epoch())
+        assert d["type"] == "EpochClosed"
+        assert d["source"] == "test"
+        assert d["app_rate"] == 5e7
+
+    def test_non_finite_floats_become_null(self):
+        d = event_to_dict(sample_epoch(rate=float("inf")))
+        assert d["app_rate"] is None
+        json.dumps(d, allow_nan=False)
+
+    def test_span_tags_become_mapping(self):
+        event = SpanClosed(
+            ts=1.0, name="s", start=0.0, end=1.0, depth=0,
+            tags=(("level", 2), ("rate", float("nan"))),
+        )
+        d = event_to_dict(event)
+        assert d["tags"] == {"level": 2, "rate": None}
+
+
+class TestJsonlExporter:
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(str(path)).attach(bus)
+        bus.publish(sample_epoch(ts=1.0))
+        bus.publish(sample_epoch(ts=2.0, rate=float("inf")))
+        exporter.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["ts"] == 1.0
+        assert parsed[1]["app_rate"] is None  # inf sanitised, not Infinity
+        assert exporter.events_written == 2
+
+    def test_file_like_target_not_closed(self):
+        buf = io.StringIO()
+        bus = EventBus()
+        with JsonlExporter(buf).attach(bus):
+            bus.publish(sample_epoch())
+        assert not buf.closed
+        assert json.loads(buf.getvalue())["type"] == "EpochClosed"
+
+    def test_double_attach_rejected(self):
+        exporter = InMemoryExporter().attach(EventBus())
+        with pytest.raises(RuntimeError):
+            exporter.attach(EventBus())
+
+
+class TestInMemoryExporter:
+    def test_capture_and_filter(self):
+        bus = EventBus()
+        exporter = InMemoryExporter().attach(bus)
+        epoch = sample_epoch()
+        block = BlockCompressed(
+            ts=1.0, codec="zlib-1", direction="compress",
+            uncompressed_bytes=100, compressed_bytes=10, seconds=0.001,
+        )
+        bus.publish(epoch)
+        bus.publish(block)
+        assert exporter.events == [epoch, block]
+        assert exporter.of_type(BlockCompressed) == [block]
+        exporter.detach()
+        bus.publish(epoch)
+        assert len(exporter.events) == 2
+        exporter.clear()
+        assert exporter.events == []
+
+
+class TestPrometheusTextExporter:
+    def test_render_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("blocks.compress").inc(7)
+        reg.gauge("level.current").set(2)
+        hist = reg.histogram("codec.compress.seconds", buckets=[0.001, 0.01])
+        hist.observe(0.0005)
+        hist.observe(0.005)
+        hist.observe(5.0)
+        text = PrometheusTextExporter(reg).render()
+        assert "# TYPE blocks_compress counter" in text
+        assert "blocks_compress 7.0" in text
+        assert "# TYPE level_current gauge" in text
+        assert "level_current 2.0" in text
+        assert '{le="0.001"} 1' in text
+        assert '{le="0.01"} 2' in text
+        assert '{le="+Inf"} 3' in text
+        assert "codec_compress_seconds_count 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert PrometheusTextExporter(MetricsRegistry()).render() == ""

@@ -1,0 +1,136 @@
+"""End-to-end: instrumented runs, metric bridging, traces, CLI report."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.core.stream import AdaptiveBlockWriter
+from repro.data import Compressibility, SyntheticCorpus
+from repro.io.cli import telemetry_main
+from repro.sim.scenario import ScenarioConfig, make_dynamic_factory, run_transfer_scenario
+from repro.telemetry.events import BUS, EpochClosed, LevelSwitched, TransferProgress
+from repro.telemetry.instrument import instrumented
+from repro.telemetry.report import load_trace, render_report, summarize
+
+
+def drive_adaptive_writer(n_blocks: int = 12) -> AdaptiveBlockWriter:
+    """Push compressible blocks through an adaptive writer on a fake clock."""
+    payload = SyntheticCorpus(file_size=32 * 1024, seed=7).payload(
+        Compressibility.HIGH
+    )
+    ticks = iter(float(i) for i in range(10_000))
+    writer = AdaptiveBlockWriter(
+        io.BytesIO(),
+        block_size=16 * 1024,
+        epoch_seconds=1.0,
+        clock=lambda: next(ticks),
+    )
+    for _ in range(n_blocks):
+        writer.write(payload[: 16 * 1024])
+    writer.close()
+    return writer
+
+
+class TestInstrumentedRealPath:
+    def test_metrics_and_trace_from_adaptive_writer(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        with instrumented(str(trace), capture_events=True) as session:
+            drive_adaptive_writer()
+        snap = session.metrics_snapshot()
+        assert snap["epochs.closed"] > 0
+        assert snap["blocks.compress"] > 0
+        assert snap["codec.compress.seconds"]["count"] == snap["blocks.compress"]
+        progresses = session.memory.of_type(TransferProgress)
+        assert progresses and progresses[-1].ratio < 1.0  # HIGH data compresses
+        # Trace on disk matches the in-memory capture.
+        lines = trace.read_text().strip().splitlines()
+        assert len(lines) == len(session.memory.events)
+        for line in lines:
+            json.loads(line)
+
+    def test_clock_restored_and_bus_quiet_after_exit(self):
+        previous_clock = BUS.clock
+        with instrumented(clock=lambda: 123.0):
+            assert BUS.active
+            assert BUS.now() == 123.0
+        assert not BUS.active
+        assert BUS.clock is previous_clock
+
+    def test_prometheus_text_from_session(self):
+        with instrumented() as session:
+            drive_adaptive_writer()
+        text = session.prometheus_text()
+        assert "# TYPE epochs_closed counter" in text
+        assert "codec_compress_seconds_bucket" in text
+
+
+class TestInstrumentedSimulation:
+    def test_sim_trace_uses_virtual_time(self, tmp_path):
+        trace = tmp_path / "sim.jsonl"
+        cfg = ScenarioConfig(
+            scheme_factory=make_dynamic_factory(),
+            compressibility=Compressibility.HIGH,
+            total_bytes=2 * 10**9,
+            n_background=0,
+            seed=7,
+        )
+        with instrumented(str(trace), capture_events=True) as session:
+            result = run_transfer_scenario(cfg)
+        epochs = session.memory.of_type(EpochClosed)
+        assert len(epochs) == len(result.epochs)
+        assert all(e.source == "sim" for e in epochs)
+        # Timestamps are simulated seconds bounded by the completion time.
+        assert epochs[-1].ts <= result.completion_time + 1e-6
+        switches = session.memory.of_type(LevelSwitched)
+        assert switches, "DYNAMIC on HIGH data must switch at least once"
+        # Clock restored: wall clock again, not frozen sim time.
+        assert BUS.now() != epochs[-1].ts
+
+
+class TestReportAndCli:
+    def make_trace(self, tmp_path) -> str:
+        trace = tmp_path / "trace.jsonl"
+        cfg = ScenarioConfig(
+            scheme_factory=make_dynamic_factory(),
+            compressibility=Compressibility.HIGH,
+            total_bytes=2 * 10**9,
+            seed=3,
+        )
+        with instrumented(str(trace)):
+            run_transfer_scenario(cfg)
+        return str(trace)
+
+    def test_render_report_sections(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        summary = summarize(load_trace(path))
+        text = render_report(summary)
+        assert "telemetry run report" in text
+        assert "EpochClosed" in text
+        assert "level occupancy" in text
+        assert "level-switch timeline" in text
+
+    def test_cli_report_text(self, tmp_path, capsys):
+        path = self.make_trace(tmp_path)
+        assert telemetry_main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry run report" in out
+        assert "EpochClosed" in out
+
+    def test_cli_report_json(self, tmp_path, capsys):
+        path = self.make_trace(tmp_path)
+        assert telemetry_main(["report", path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["epochs"] > 0
+        assert data["counts_by_type"]["EpochClosed"] == data["epochs"]
+        assert data["app_rate_mbps"]["count"] == data["epochs"]
+
+    def test_cli_missing_file(self, capsys):
+        assert telemetry_main(["report", "/nonexistent/trace.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_cli_rejects_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "EpochClosed"}\nnot json at all\n')
+        assert telemetry_main(["report", str(bad)]) == 1
+        assert "line 2" in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""Metrics: counters, gauges, histogram percentiles, bounded memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("bytes")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge("level")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_percentiles_against_known_uniform_distribution(self):
+        # Uniform 1..100 into decade buckets: every percentile is known
+        # exactly, and bucket interpolation must recover it.
+        hist = Histogram("u", buckets=[10, 20, 30, 40, 50, 60, 70, 80, 90, 100])
+        for v in range(1, 101):
+            hist.observe(v)
+        assert hist.count == 100
+        assert hist.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert hist.percentile(90) == pytest.approx(90.0, abs=1.0)
+        assert hist.percentile(99) == pytest.approx(99.0, abs=1.0)
+        assert hist.percentile(10) == pytest.approx(10.0, abs=1.0)
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram("h", buckets=[10, 20])
+        for _ in range(10):
+            hist.observe(15)  # all samples in the (10, 20] bucket
+        # Rank 5 of 10 in a bucket spanning 10..20 -> 15.
+        assert hist.percentile(50) == pytest.approx(15.0)
+
+    def test_overflow_bucket_reports_last_bound(self):
+        hist = Histogram("h", buckets=[1.0])
+        hist.observe(100.0)
+        assert hist.percentile(99) == 1.0
+        assert hist.count == 1
+
+    def test_mean_and_sum(self):
+        hist = Histogram("h", buckets=[10, 100])
+        for v in (1, 2, 3):
+            hist.observe(v)
+        assert hist.sum == 6
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_ring_buffer_is_bounded(self):
+        hist = Histogram("h", buckets=[1000], ring_size=8)
+        for v in range(100):
+            hist.observe(float(v))
+        recent = hist.recent()
+        assert len(recent) == 8
+        assert recent == [92.0, 93.0, 94.0, 95.0, 96.0, 97.0, 98.0, 99.0]
+
+    def test_recent_before_wrap(self):
+        hist = Histogram("h", buckets=[10], ring_size=8)
+        hist.observe(1.0)
+        hist.observe(2.0)
+        assert hist.recent() == [1.0, 2.0]
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h", buckets=[1]).percentile(50) == 0.0
+
+    def test_percentile_validation(self):
+        hist = Histogram("h", buckets=[1])
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[1, 1])
+
+    def test_summary_keys(self):
+        hist = Histogram("h", buckets=[10])
+        hist.observe(5)
+        summary = hist.summary()
+        assert set(summary) == {"count", "sum", "mean", "p50", "p90", "p99"}
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=[1, 10]).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1
+        json.dumps(snap, allow_nan=False)  # must be JSON-clean
+
+    def test_reset_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg
+        reg.reset()
+        assert reg.names() == []

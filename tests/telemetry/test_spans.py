@@ -1,0 +1,89 @@
+"""Spans: nesting, the simulated clock, and the inactive fast path."""
+
+from __future__ import annotations
+
+from repro.sim.engine import Environment
+from repro.telemetry.events import BUS, SpanClosed
+from repro.telemetry.spans import current_depth, span
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestSpanBasics:
+    def test_span_records_duration_on_fake_clock(self):
+        got = []
+        BUS.subscribe(got.append, SpanClosed)
+        clock = FakeClock()
+        BUS.clock = clock
+        with span("compress", level=2):
+            clock.t = 1.5
+        assert len(got) == 1
+        s = got[0]
+        assert s.name == "compress"
+        assert s.start == 0.0 and s.end == 1.5
+        assert s.seconds == 1.5
+        assert s.depth == 0
+        assert s.tags == (("level", 2),)
+
+    def test_nesting_depths_and_close_order(self):
+        got = []
+        BUS.subscribe(got.append, SpanClosed)
+        BUS.clock = FakeClock()
+        with span("outer"):
+            assert current_depth() == 1
+            with span("inner"):
+                assert current_depth() == 2
+            assert current_depth() == 1
+        assert current_depth() == 0
+        # Inner closes first, and depths reflect nesting at entry.
+        assert [(s.name, s.depth) for s in got] == [("inner", 1), ("outer", 0)]
+
+    def test_depth_restored_on_exception(self):
+        BUS.subscribe(lambda e: None, SpanClosed)
+        try:
+            with span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_depth() == 0
+
+    def test_inactive_bus_is_free(self):
+        assert not BUS.active
+        before = BUS.published
+        with span("idle") as s:
+            assert s.start is None  # never read the clock
+        assert BUS.published == before
+        assert current_depth() == 0
+
+
+class TestSpanUnderSimulatedClock:
+    def test_virtual_time_spans(self):
+        """Spans driven by the DES environment measure simulated seconds."""
+        got = []
+        BUS.subscribe(got.append, SpanClosed)
+        env = Environment()
+        previous = env.bind_telemetry(BUS)
+        try:
+
+            def proc():
+                with span("sim-phase", stage="warmup"):
+                    yield env.timeout(10.0)
+                    with span("sim-inner"):
+                        yield env.timeout(2.5)
+
+            env.run_process(proc())
+        finally:
+            BUS.clock = previous
+        by_name = {s.name: s for s in got}
+        assert by_name["sim-phase"].seconds == 12.5
+        assert by_name["sim-phase"].depth == 0
+        assert by_name["sim-inner"].seconds == 2.5
+        assert by_name["sim-inner"].depth == 1
+        # Timestamps are virtual seconds, not wall time.
+        assert by_name["sim-phase"].end == 12.5
