@@ -1,0 +1,223 @@
+"""Throughput matrix for the parallel block-compression pipeline.
+
+Standalone script (not a pytest-benchmark file): it times the serial
+:class:`~repro.codecs.block.BlockWriter` against
+:class:`~repro.core.pipeline.ParallelBlockEncoder` at 2/4/8 workers,
+over the paper's four compression levels and three compressibility
+classes, writes the full matrix to ``BENCH_pipeline.json``, and — in
+``--quick`` mode — enforces the CI regression gate.
+
+The gate is core-aware because threads can only buy throughput where
+there are cores to run them:
+
+* >= 2 usable cores (every hosted CI runner): 4-worker MEDIUM on
+  compressible data must not fall below the serial baseline.
+* 1 usable core: nothing can overlap, so the gate degrades to an
+  overhead floor — the pipeline must keep >= 75 % of serial throughput.
+* >= 4 usable cores and not ``--quick``: additionally assert the
+  headline >= 2x speedup for 4-worker MEDIUM on compressible data.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick]
+        [--mib 16] [--repeats 3] [--out BENCH_pipeline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.codecs.bz2_codec import Bz2Codec
+from repro.codecs.lzma_codec import LzmaCodec
+from repro.codecs.null_codec import NullCodec
+from repro.codecs.zlib_codec import LightZlibCodec
+from repro.core.pipeline import make_block_encoder
+from repro.data.corpus import Compressibility, generate
+
+BLOCK_SIZE = 128 * 1024
+
+#: The paper's ladder, with bz2 as MEDIUM: unlike zlib-6 (which is so
+#: fast the framing overhead dominates), bz2 is CPU-bound at 128 KB
+#: blocks, so MEDIUM is where a parallel pipeline should visibly pay.
+LEVELS = (
+    ("NO", NullCodec),
+    ("LIGHT", LightZlibCodec),
+    ("MEDIUM", Bz2Codec),
+    ("HEAVY", lambda: LzmaCodec(preset=4)),
+)
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+class NullSink:
+    """Counting sink that discards frames (isolates compression cost)."""
+
+    def __init__(self) -> None:
+        self.nbytes = 0
+
+    def write(self, data) -> int:
+        n = data.nbytes if isinstance(data, memoryview) else len(data)
+        self.nbytes += n
+        return n
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def one_pass(data: bytes, workers: int, codec) -> tuple[float, int]:
+    """Push ``data`` through the encoder once; (seconds, wire bytes)."""
+    sink = NullSink()
+    encoder = make_block_encoder(sink, workers=workers)
+    t0 = time.perf_counter()
+    with memoryview(data) as view:
+        for offset in range(0, len(data), BLOCK_SIZE):
+            encoder.write_block(view[offset : offset + BLOCK_SIZE], codec)
+        encoder.flush()
+    elapsed = time.perf_counter() - t0
+    encoder.close()
+    return elapsed, sink.nbytes
+
+
+def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
+    """Best-of-``repeats`` seconds for every matrix cell."""
+    total = mib * 2**20
+    results = []
+    for cls in classes:
+        data = generate(cls, total, seed=11)
+        for level_name, codec_factory in levels:
+            codec = codec_factory()
+            serial_s = None
+            for workers in worker_counts:
+                best_s, wire = min(
+                    (one_pass(data, workers, codec) for _ in range(repeats)),
+                    key=lambda pair: pair[0],
+                )
+                if workers == 1:
+                    serial_s = best_s
+                cell = {
+                    "class": cls.value,
+                    "level": level_name,
+                    "codec": codec.name,
+                    "workers": workers,
+                    "seconds": round(best_s, 4),
+                    "mb_per_s": round(total / best_s / 1e6, 2),
+                    "ratio": round(wire / total, 4),
+                    "speedup_vs_serial": round(serial_s / best_s, 3)
+                    if serial_s
+                    else 1.0,
+                }
+                results.append(cell)
+                print(
+                    f"  {cls.value:8s} {level_name:6s} workers={workers}  "
+                    f"{cell['mb_per_s']:8.1f} MB/s  "
+                    f"speedup {cell['speedup_vs_serial']:.2f}x",
+                    flush=True,
+                )
+    return {
+        "meta": {
+            "block_size": BLOCK_SIZE,
+            "payload_mib": mib,
+            "repeats": repeats,
+            "usable_cores": usable_cores(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": results,
+    }
+
+
+def _cell(payload: dict, cls: str, level: str, workers: int) -> dict:
+    for cell in payload["results"]:
+        if (
+            cell["class"] == cls
+            and cell["level"] == level
+            and cell["workers"] == workers
+        ):
+            return cell
+    raise KeyError(f"no cell for {cls}/{level}/workers={workers}")
+
+
+def check_gate(payload: dict, *, quick: bool) -> list[str]:
+    """Return failure messages (empty = gate passed)."""
+    cores = payload["meta"]["usable_cores"]
+    failures = []
+    for cls in ("HIGH", "MODERATE"):
+        try:
+            four = _cell(payload, cls, "MEDIUM", 4)
+        except KeyError:
+            continue
+        speedup = four["speedup_vs_serial"]
+        if cores >= 2 and speedup < 1.0:
+            failures.append(
+                f"{cls}/MEDIUM: 4 workers below serial ({speedup:.2f}x) "
+                f"with {cores} cores available"
+            )
+        elif cores < 2 and speedup < 0.75:
+            failures.append(
+                f"{cls}/MEDIUM: single-core pipeline overhead too high "
+                f"({speedup:.2f}x of serial, floor is 0.75x)"
+            )
+        if not quick and cores >= 4 and speedup < 2.0:
+            failures.append(
+                f"{cls}/MEDIUM: expected >=2x at 4 workers with "
+                f"{cores} cores, got {speedup:.2f}x"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small payload, MEDIUM level only, gate enforced",
+    )
+    parser.add_argument("--mib", type=int, default=None, help="payload MiB per class")
+    parser.add_argument("--repeats", type=int, default=None, help="passes per cell")
+    parser.add_argument(
+        "--out", default="BENCH_pipeline.json", help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        mib = args.mib or 4
+        repeats = args.repeats or 2
+        worker_counts = (1, 4)
+        levels = [lv for lv in LEVELS if lv[0] == "MEDIUM"]
+        classes = (Compressibility.HIGH, Compressibility.MODERATE)
+    else:
+        mib = args.mib or 16
+        repeats = args.repeats or 3
+        worker_counts = WORKER_COUNTS
+        levels = LEVELS
+        classes = tuple(Compressibility)
+
+    print(
+        f"pipeline benchmark: {mib} MiB/class, repeats={repeats}, "
+        f"usable cores={usable_cores()}",
+        flush=True,
+    )
+    payload = run_matrix(mib, repeats, worker_counts, levels, classes)
+    with open(args.out, "w") as fp:
+        json.dump(payload, fp, indent=2)
+    print(f"matrix written to {args.out}")
+
+    failures = check_gate(payload, quick=args.quick)
+    for failure in failures:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,9 +38,11 @@ from .core import (
     AdaptiveController,
     CompressionLevelTable,
     DecisionModel,
+    ParallelBlockEncoder,
     StaticBlockWriter,
     default_level_table,
     get_next_compression_level,
+    make_block_encoder,
 )
 from .data import Compressibility, RepeatingSource, SwitchingSource, SyntheticCorpus
 
@@ -52,6 +54,8 @@ __all__ = [
     "AdaptiveController",
     "AdaptiveBlockWriter",
     "StaticBlockWriter",
+    "ParallelBlockEncoder",
+    "make_block_encoder",
     "CompressionLevelTable",
     "default_level_table",
     "DEFAULT_ALPHA",

@@ -8,12 +8,14 @@ from .base import Codec, CodecInfo
 from .block import (
     DEFAULT_BLOCK_SIZE,
     HEADER_SIZE,
+    BlockData,
     BlockHeader,
     BlockReader,
     BlockWriter,
     EncodedBlock,
     decode_block,
     decode_header,
+    decode_payload,
     encode_block,
 )
 from .bz2_codec import Bz2Codec
@@ -50,6 +52,8 @@ __all__ = [
     "encode_block",
     "decode_block",
     "decode_header",
+    "decode_payload",
+    "BlockData",
     "DEFAULT_BLOCK_SIZE",
     "HEADER_SIZE",
     "CodecMeasurement",

@@ -30,7 +30,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import BinaryIO, Iterator, Optional
+from typing import BinaryIO, Iterator, Optional, Union
 
 from ..telemetry.events import BUS, BlockCompressed
 from .base import Codec
@@ -46,6 +46,16 @@ HEADER_SIZE = HEADER.size  # 20 bytes
 DEFAULT_BLOCK_SIZE = 128 * 1024
 
 FLAG_STORED_FALLBACK = 0x01
+
+#: Block payloads are accepted as any C-contiguous byte buffer, so the
+#: stream layer can hand us zero-copy ``memoryview`` slices of its
+#: write buffer instead of materialising a ``bytes`` copy per block.
+BlockData = Union[bytes, bytearray, memoryview]
+
+
+def _nbytes(data: BlockData) -> int:
+    """Byte length of a block payload buffer (memoryview-safe)."""
+    return data.nbytes if isinstance(data, memoryview) else len(data)
 
 
 @dataclass(frozen=True)
@@ -65,9 +75,14 @@ class BlockHeader:
 
 @dataclass(frozen=True)
 class EncodedBlock:
-    """A fully framed block plus its bookkeeping numbers."""
+    """A fully framed block plus its bookkeeping numbers.
 
-    frame: bytes
+    ``frame`` is a bytes-like object (a ``bytearray`` on the hot path —
+    assembled in a single preallocated buffer, never re-copied into an
+    immutable ``bytes``); treat it as read-only.
+    """
+
+    frame: Union[bytes, bytearray]
     header: BlockHeader
 
     @property
@@ -82,14 +97,25 @@ class EncodedBlock:
         return self.header.compressed_len / self.header.uncompressed_len
 
 
-def encode_block(data: bytes, codec: Codec, *, allow_stored_fallback: bool = True) -> EncodedBlock:
+def encode_block(
+    data: BlockData, codec: Codec, *, allow_stored_fallback: bool = True
+) -> EncodedBlock:
     """Compress ``data`` with ``codec`` and wrap it in a frame.
+
+    ``data`` may be ``bytes``, a ``bytearray`` or a C-contiguous
+    ``memoryview`` — the stream layer passes zero-copy views of its
+    write buffer.  The frame is assembled in one preallocated buffer
+    (header packed in place with ``pack_into``, payload copied in
+    exactly once); the input is never copied to an intermediate object,
+    so a ``memoryview`` input costs a single payload copy total.
 
     If the codec expands the data and ``allow_stored_fallback`` is set,
     the block is stored raw (codec id 0) with ``FLAG_STORED_FALLBACK``
     so that incompressible data never costs more than the 20-byte
-    header.
+    header.  The stored fallback borrows the input buffer directly — no
+    defensive copy is taken.
     """
+    data_len = _nbytes(data)
     if BUS.active:
         t0 = BUS.now()
         payload = codec.compress(data)
@@ -98,8 +124,8 @@ def encode_block(data: bytes, codec: Codec, *, allow_stored_fallback: bool = Tru
                 ts=BUS.now(),
                 codec=codec.name,
                 direction="compress",
-                uncompressed_bytes=len(data),
-                compressed_bytes=len(payload),
+                uncompressed_bytes=data_len,
+                compressed_bytes=_nbytes(payload),
                 seconds=BUS.now() - t0,
             )
         )
@@ -107,35 +133,37 @@ def encode_block(data: bytes, codec: Codec, *, allow_stored_fallback: bool = Tru
         payload = codec.compress(data)
     codec_id = codec.codec_id
     flags = 0
-    if allow_stored_fallback and codec_id != 0 and len(payload) >= len(data):
-        payload = bytes(data)
+    if allow_stored_fallback and codec_id != 0 and _nbytes(payload) >= data_len:
+        payload = data
         codec_id = 0
         flags |= FLAG_STORED_FALLBACK
+    payload_len = _nbytes(payload)
     header = BlockHeader(
         codec_id=codec_id,
         flags=flags,
-        uncompressed_len=len(data),
-        compressed_len=len(payload),
+        uncompressed_len=data_len,
+        compressed_len=payload_len,
         crc32=zlib.crc32(payload) & 0xFFFFFFFF,
     )
-    frame = (
-        HEADER.pack(
-            MAGIC,
-            FORMAT_VERSION,
-            header.codec_id,
-            header.flags,
-            header.uncompressed_len,
-            header.compressed_len,
-            header.crc32,
-        )
-        + payload
+    frame = bytearray(HEADER_SIZE + payload_len)
+    HEADER.pack_into(
+        frame,
+        0,
+        MAGIC,
+        FORMAT_VERSION,
+        header.codec_id,
+        header.flags,
+        header.uncompressed_len,
+        header.compressed_len,
+        header.crc32,
     )
+    frame[HEADER_SIZE:] = payload
     return EncodedBlock(frame=frame, header=header)
 
 
-def decode_header(raw: bytes) -> BlockHeader:
-    """Parse and validate a 20-byte frame header."""
-    if len(raw) < HEADER_SIZE:
+def decode_header(raw: BlockData) -> BlockHeader:
+    """Parse and validate a 20-byte frame header (any byte buffer)."""
+    if _nbytes(raw) < HEADER_SIZE:
         raise TruncatedStreamError(
             f"need {HEADER_SIZE} header bytes, got {len(raw)}"
         )
@@ -153,15 +181,17 @@ def decode_header(raw: bytes) -> BlockHeader:
     )
 
 
-def decode_block(frame: bytes, registry: CodecRegistry = DEFAULT_REGISTRY) -> bytes:
-    """Decode one complete frame back to the original bytes."""
-    header = decode_header(frame)
-    payload = frame[HEADER_SIZE : HEADER_SIZE + header.compressed_len]
-    if len(payload) != header.compressed_len:
-        raise TruncatedStreamError(
-            f"frame payload truncated: expected {header.compressed_len} bytes, "
-            f"got {len(payload)}"
-        )
+def decode_payload(
+    header: BlockHeader,
+    payload: BlockData,
+    registry: CodecRegistry = DEFAULT_REGISTRY,
+) -> bytes:
+    """CRC-check and decompress one frame's payload.
+
+    The payload may be any byte buffer (``BlockReader`` passes its
+    preallocated read buffer directly); it is handed to the codec
+    without copying.
+    """
     if (zlib.crc32(payload) & 0xFFFFFFFF) != header.crc32:
         raise CorruptBlockError("payload CRC mismatch")
     codec = registry.get(header.codec_id)
@@ -174,7 +204,7 @@ def decode_block(frame: bytes, registry: CodecRegistry = DEFAULT_REGISTRY) -> by
                 codec=codec.name,
                 direction="decompress",
                 uncompressed_bytes=len(data),
-                compressed_bytes=len(payload),
+                compressed_bytes=_nbytes(payload),
                 seconds=BUS.now() - t0,
             )
         )
@@ -186,6 +216,22 @@ def decode_block(frame: bytes, registry: CodecRegistry = DEFAULT_REGISTRY) -> by
             f"{header.uncompressed_len}"
         )
     return data
+
+
+def decode_block(frame: BlockData, registry: CodecRegistry = DEFAULT_REGISTRY) -> bytes:
+    """Decode one complete frame back to the original bytes."""
+    header = decode_header(frame)
+    with memoryview(frame) as view:
+        payload = view[HEADER_SIZE : HEADER_SIZE + header.compressed_len]
+        try:
+            if len(payload) != header.compressed_len:
+                raise TruncatedStreamError(
+                    f"frame payload truncated: expected {header.compressed_len} "
+                    f"bytes, got {len(payload)}"
+                )
+            return decode_payload(header, payload, registry)
+        finally:
+            payload.release()
 
 
 class BlockWriter:
@@ -202,7 +248,7 @@ class BlockWriter:
         self.bytes_in = 0
         self.bytes_out = 0
 
-    def write_block(self, data: bytes, codec: Codec) -> EncodedBlock:
+    def write_block(self, data: BlockData, codec: Codec) -> EncodedBlock:
         block = encode_block(
             data, codec, allow_stored_fallback=self._allow_stored_fallback
         )
@@ -211,6 +257,17 @@ class BlockWriter:
         self.bytes_in += block.header.uncompressed_len
         self.bytes_out += block.frame_len
         return block
+
+    def flush(self) -> None:
+        """No-op: every block is written synchronously.
+
+        Present so the serial writer and the threaded
+        :class:`~repro.core.pipeline.ParallelBlockEncoder` share one
+        interface (the parallel encoder drains in-flight blocks here).
+        """
+
+    def close(self) -> None:
+        """No-op counterpart of the parallel encoder's worker shutdown."""
 
 
 class BlockReader:
@@ -224,24 +281,43 @@ class BlockReader:
     def __init__(self, source: BinaryIO, registry: CodecRegistry = DEFAULT_REGISTRY) -> None:
         self._source = source
         self._registry = registry
+        # Prefer scatter reads straight into our buffer; fall back to
+        # read() for minimal sources (e.g. BoundedPipe-like objects).
+        self._readinto = getattr(source, "readinto", None)
         self.blocks_read = 0
         self.bytes_in = 0
         self.bytes_out = 0
 
-    def _read_exact(self, n: int, *, allow_eof: bool) -> Optional[bytes]:
-        chunks: list[bytes] = []
-        remaining = n
-        while remaining > 0:
-            chunk = self._source.read(remaining)
-            if not chunk:
-                if not chunks and allow_eof:
-                    return None
-                raise TruncatedStreamError(
-                    f"stream ended with {remaining} of {n} bytes outstanding"
-                )
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+    def _read_exact(self, n: int, *, allow_eof: bool) -> Optional[bytearray]:
+        """Read exactly ``n`` bytes into one preallocated buffer.
+
+        Returns ``None`` only when ``allow_eof`` is set and the stream
+        ends *before the first byte* (clean EOF between frames); a
+        stream that ends mid-read raises :class:`TruncatedStreamError`.
+        """
+        buf = bytearray(n)
+        pos = 0
+        if self._readinto is not None:
+            with memoryview(buf) as view:
+                while pos < n:
+                    got = self._readinto(view[pos:])
+                    if not got:
+                        break
+                    pos += got
+        else:
+            while pos < n:
+                chunk = self._source.read(n - pos)
+                if not chunk:
+                    break
+                buf[pos : pos + len(chunk)] = chunk
+                pos += len(chunk)
+        if pos < n:
+            if pos == 0 and allow_eof:
+                return None
+            raise TruncatedStreamError(
+                f"stream ended with {n - pos} of {n} bytes outstanding"
+            )
+        return buf
 
     def read_block(self) -> Optional[bytes]:
         """Return the next decoded block, or ``None`` at clean EOF."""
@@ -251,10 +327,9 @@ class BlockReader:
         header = decode_header(raw_header)
         payload = self._read_exact(header.compressed_len, allow_eof=False)
         assert payload is not None
-        frame = raw_header + payload
-        data = decode_block(frame, self._registry)
+        data = decode_payload(header, payload, self._registry)
         self.blocks_read += 1
-        self.bytes_in += len(frame)
+        self.bytes_in += HEADER_SIZE + header.compressed_len
         self.bytes_out += len(data)
         return data
 

@@ -16,7 +16,13 @@ class NullCodec(Codec):
     info = CodecInfo(codec_id=0, name="null", description="identity / no compression")
 
     def compress(self, data: bytes) -> bytes:
-        return bytes(data)
+        # Identity without a defensive copy: the framing layer copies
+        # the payload into the frame buffer exactly once, so returning
+        # the input (possibly a memoryview) keeps level 0 zero-copy.
+        # Callers must treat the result as borrowed until framed.
+        return data
 
     def decompress(self, data: bytes) -> bytes:
+        # bytes(x) is a no-op for bytes input; it materialises real
+        # bytes when the reader hands us its reusable buffer or a view.
         return bytes(data)

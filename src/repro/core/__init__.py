@@ -21,6 +21,7 @@ from .levels import (
     CompressionLevelTable,
     default_level_table,
 )
+from .pipeline import ParallelBlockEncoder, make_block_encoder
 from .rate import EpochSample, RateMeter, RateWindow
 from .stream import AdaptiveBlockWriter, StaticBlockWriter
 
@@ -43,4 +44,6 @@ __all__ = [
     "PAPER_LEVEL_NAMES",
     "AdaptiveBlockWriter",
     "StaticBlockWriter",
+    "ParallelBlockEncoder",
+    "make_block_encoder",
 ]

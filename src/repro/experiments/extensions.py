@@ -11,14 +11,24 @@
 * ``ext-fairness`` — two adaptive senders sharing one link: both
   converge and the bandwidth split stays near-fair (Jain index), i.e.
   the scheme composes with itself without collapse or capture.
+* ``ext-pipeline`` — the parallel block-compression pipeline
+  (:class:`repro.core.pipeline.ParallelBlockEncoder`) on *real* CPU:
+  byte-identity with the serial path is enforced unconditionally; the
+  speed checks adapt to the machine's core count, since a single-core
+  host cannot exhibit compression parallelism.
 """
 
 from __future__ import annotations
 
+import io
+import os
 import statistics
+import time
 from typing import Dict, List
 
-from ..data.corpus import Compressibility
+from ..codecs.bz2_codec import Bz2Codec
+from ..core.pipeline import make_block_encoder
+from ..data.corpus import Compressibility, generate
 from ..data.datasource import RepeatingSource
 from ..schemes.memory import MemoryRateScheme
 from ..schemes.rate_based import RateBasedScheme
@@ -322,4 +332,128 @@ def run_fairness(scale: float = 0.1, seed: int = 83) -> ExperimentResult:
         checks=checks,
         failures=failures,
         data={"rates": rates, "jain": index, "level_share": level_share},
+    )
+
+
+class _DevNull:
+    """Counting sink that discards frames (isolates compression cost)."""
+
+    def __init__(self) -> None:
+        self.nbytes = 0
+
+    def write(self, data) -> int:
+        n = data.nbytes if isinstance(data, memoryview) else len(data)
+        self.nbytes += n
+        return n
+
+
+def _pipeline_pass(data: bytes, workers: int, block_size: int, codec) -> float:
+    """Seconds to push ``data`` through the encoder at ``workers``."""
+    sink = _DevNull()
+    encoder = make_block_encoder(sink, workers=workers)
+    t0 = time.perf_counter()
+    with memoryview(data) as view:
+        for offset in range(0, len(data), block_size):
+            encoder.write_block(view[offset : offset + block_size], codec)
+        encoder.flush()
+    elapsed = time.perf_counter() - t0
+    encoder.close()
+    return elapsed
+
+
+def run_pipeline(
+    scale: float = 0.1, seed: int = 84, repeats: int = 3, workers: int = 4
+) -> ExperimentResult:
+    """Parallel block compression on real CPU: identity + speedup.
+
+    Unlike the other extensions this runs actual codecs on actual
+    threads, so the speed checks are machine-dependent: on a single
+    core the pipeline *cannot* be faster than serial (there is nothing
+    to overlap with), and we only require that its overhead stays
+    bounded.  The byte-identity check is unconditional — it is the wire
+    -format contract the whole design rests on.
+    """
+    if workers < 2:
+        raise ValueError("workers must be >= 2 (1 is the serial baseline)")
+    block_size = 128 * 1024
+    total = max(int(scale * 64) * 2**20, 2 * 2**20)
+    codec = Bz2Codec()
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+
+    data = generate(Compressibility.MODERATE, total, seed=seed)
+
+    # Byte identity: serial vs parallel, same data, same codec.
+    streams = []
+    for w in (1, workers):
+        sink = io.BytesIO()
+        encoder = make_block_encoder(sink, workers=w)
+        with memoryview(data) as view:
+            for offset in range(0, len(data), block_size):
+                encoder.write_block(view[offset : offset + block_size], codec)
+        encoder.close()
+        streams.append(sink.getvalue())
+    identical = streams[0] == streams[1]
+
+    worker_counts = tuple(sorted({1, 2, workers}))
+    seconds: Dict[int, float] = {
+        w: min(_pipeline_pass(data, w, block_size, codec) for _ in range(repeats))
+        for w in worker_counts
+    }
+    throughput = {w: total / s / 1e6 for w, s in seconds.items()}
+    rows = [
+        [f"{w} worker{'s' if w > 1 else ''}", f"{seconds[w]:.3f}",
+         f"{throughput[w]:.1f}", f"{seconds[1] / seconds[w]:.2f}x"]
+        for w in worker_counts
+    ]
+    rendered = format_table(
+        ["encoder", "best of runs (s)", "MB/s", "speedup"],
+        rows,
+        title=f"bz2 pipeline over {total / 2**20:.0f} MiB MODERATE data "
+        f"({cores} usable core{'s' if cores != 1 else ''})",
+    )
+
+    checks: List[str] = []
+    failures: List[str] = []
+    checks.append(
+        check(
+            identical,
+            f"{workers}-worker wire stream is byte-identical to serial "
+            f"({len(streams[0]):,} bytes)",
+            failures,
+        )
+    )
+    speedup = seconds[1] / seconds[workers]
+    if cores >= 2:
+        checks.append(
+            check(
+                speedup >= 0.95,
+                f"with {cores} cores, {workers} workers do not lose to serial "
+                f"({speedup:.2f}x)",
+                failures,
+            )
+        )
+    else:
+        checks.append(
+            check(
+                speedup >= 0.60,
+                "on a single core the pipeline's overhead stays bounded "
+                f"({speedup:.2f}x of serial; parallel speedup needs >1 core)",
+                failures,
+            )
+        )
+
+    return ExperimentResult(
+        experiment_id="ext-pipeline",
+        title="Extension: parallel block-compression pipeline",
+        rendered=rendered,
+        checks=checks,
+        failures=failures,
+        data={
+            "cores": cores,
+            "identical": identical,
+            "seconds": {str(w): s for w, s in seconds.items()},
+            "throughput_mbps": {str(w): t for w, t in throughput.items()},
+        },
     )

@@ -34,6 +34,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-fileio": extensions.run_fileio,
     "ext-memory": extensions.run_memory,
     "ext-fairness": extensions.run_fairness,
+    "ext-pipeline": extensions.run_pipeline,
 }
 
 PAPER_SET = ("fig1", "fig2", "fig3", "table2", "fig4", "fig5", "fig6")
@@ -63,6 +64,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override repeat count for experiments that average over seeds",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override worker-thread count for experiments that use the "
+        "parallel compression pipeline (ext-pipeline)",
     )
     parser.add_argument(
         "--json",
@@ -105,6 +113,9 @@ def main(argv=None) -> int:
         if args.repeats is not None:
             if "repeats" in inspect.signature(EXPERIMENTS[exp_id]).parameters:
                 kwargs["repeats"] = args.repeats
+        if args.workers is not None:
+            if "workers" in inspect.signature(EXPERIMENTS[exp_id]).parameters:
+                kwargs["workers"] = args.workers
         t0 = time.perf_counter()
         result = EXPERIMENTS[exp_id](**kwargs)
         elapsed = time.perf_counter() - t0

@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="adaptive re-decision interval",
     )
+    pack.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="compression worker threads (1 = serial; output is identical)",
+    )
 
     unpack = sub.add_parser("unpack", help="restore a packed file")
     unpack.add_argument("src")
@@ -75,6 +81,7 @@ def cmd_pack(args: argparse.Namespace) -> int:
         static_level=static_level,
         block_size=args.block_size,
         epoch_seconds=args.epoch_seconds,
+        workers=args.workers,
     )
     print(
         f"{result.input_bytes:,} -> {result.output_bytes:,} bytes "

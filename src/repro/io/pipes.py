@@ -73,6 +73,31 @@ class BoundedPipe:
             self._writable.notify_all()
             return chunk
 
+    def readinto(self, b) -> int:
+        """Read up to ``len(b)`` bytes directly into buffer ``b``.
+
+        File-object protocol used by :class:`~repro.codecs.block.
+        BlockReader`'s zero-copy path.  Returns 0 only at end-of-stream.
+        """
+        with memoryview(b) as dest:
+            n = dest.nbytes
+            if n == 0:
+                return 0
+            with self._readable:
+                while not self._buffer and not self._write_closed:
+                    self._readable.wait()
+                if not self._buffer:
+                    return 0
+                take = min(n, len(self._buffer))
+                # Copy straight from the pipe buffer into the caller's
+                # buffer; the temporary view must be released before the
+                # del, or bytearray resizing raises BufferError.
+                with memoryview(self._buffer) as src:
+                    dest[:take] = src[:take]
+                del self._buffer[:take]
+                self._writable.notify_all()
+                return take
+
     def close_write(self) -> None:
         with self._lock:
             self._write_closed = True
@@ -109,3 +134,9 @@ class ThrottledPipe(BoundedPipe):
         if chunk:
             self._bucket.consume(len(chunk))
         return chunk
+
+    def readinto(self, b) -> int:
+        got = super().readinto(b)
+        if got:
+            self._bucket.consume(got)
+        return got

@@ -8,10 +8,15 @@ decompresses the block stream; the sender pushes a
 the socket, optionally behind a token-bucket throttle standing in for
 the contended link.
 
-Caveat recorded in EXPERIMENTS.md: compression, socket I/O and
-decompression share the CPython GIL, so absolute throughputs are not
-comparable to the paper's Java implementation — but the adaptive
-scheme's *decisions* depend only on relative rates, which survive.
+Caveat recorded in EXPERIMENTS.md: with ``workers=1`` compression,
+socket I/O and decompression share the CPython GIL, so absolute
+throughputs are not comparable to the paper's Java implementation — but
+the adaptive scheme's *decisions* depend only on relative rates, which
+survive.  ``workers>1`` routes compression through the
+:class:`~repro.core.pipeline.ParallelBlockEncoder`; because zlib/bz2/
+lzma release the GIL while compressing, multi-core hosts then overlap
+compression with socket I/O and with each other, and only the framing
+and kernel calls remain serialised.
 """
 
 from __future__ import annotations
@@ -93,6 +98,7 @@ def run_socket_transfer(
     epoch_seconds: float = 0.25,
     alpha: float = 0.2,
     chunk_bytes: int = 64 * 1024,
+    workers: int = 1,
 ) -> SocketTransferResult:
     """Send ``source`` over a real localhost TCP connection.
 
@@ -100,6 +106,8 @@ def run_socket_transfer(
     (bytes/s) throttles the sender's writes, emulating a slow/contended
     link.  ``epoch_seconds`` defaults to 0.25 s rather than the paper's
     2 s so short test transfers still see several decision epochs.
+    ``workers`` > 1 compresses blocks on a thread pipeline (identical
+    wire bytes; see the module docstring for when this helps).
     """
     receiver = ReceiverThread()
     receiver.start()
@@ -121,9 +129,12 @@ def run_socket_transfer(
             block_size=block_size,
             epoch_seconds=epoch_seconds,
             alpha=alpha,
+            workers=workers,
         )
     else:
-        writer = StaticBlockWriter(sink, static_level, levels, block_size=block_size)
+        writer = StaticBlockWriter(
+            sink, static_level, levels, block_size=block_size, workers=workers
+        )
 
     app_bytes = 0
     next_progress = PROGRESS_EVERY_BYTES

@@ -39,13 +39,15 @@ def compress_file(
     block_size: int = DEFAULT_BLOCK_SIZE,
     epoch_seconds: float = 0.25,
     alpha: float = 0.2,
+    workers: int = 1,
     clock: Callable[[], float] = time.monotonic,
 ) -> FileCompressionResult:
     """Compress ``src_path`` into a framed block stream at ``dst_path``.
 
     ``static_level=None`` uses the adaptive scheme; the level then
     tracks the *throughput* achieved on this machine for this data,
-    exactly like the channel integration.
+    exactly like the channel integration.  ``workers`` > 1 compresses
+    blocks on a thread pipeline with byte-identical output.
     """
     t0 = clock()
     with open(src_path, "rb") as src, open(dst_path, "wb") as dst:
@@ -56,10 +58,13 @@ def compress_file(
                 block_size=block_size,
                 epoch_seconds=epoch_seconds,
                 alpha=alpha,
+                workers=workers,
                 clock=clock,
             )
         else:
-            writer = StaticBlockWriter(dst, static_level, levels, block_size=block_size)
+            writer = StaticBlockWriter(
+                dst, static_level, levels, block_size=block_size, workers=workers
+            )
         while True:
             chunk = src.read(block_size)
             if not chunk:

@@ -31,6 +31,7 @@ from .events import (
     EpochClosed,
     EventBus,
     LevelSwitched,
+    PipelineQueueDepth,
     SpanClosed,
     TelemetryEvent,
     TransferProgress,
@@ -62,6 +63,7 @@ __all__ = [
     "LevelSwitched",
     "BlockCompressed",
     "TransferProgress",
+    "PipelineQueueDepth",
     "BackoffUpdated",
     "SpanClosed",
     "EventBus",

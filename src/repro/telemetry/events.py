@@ -31,6 +31,7 @@ __all__ = [
     "LevelSwitched",
     "BlockCompressed",
     "TransferProgress",
+    "PipelineQueueDepth",
     "BackoffUpdated",
     "SpanClosed",
     "EventBus",
@@ -105,6 +106,21 @@ class TransferProgress(TelemetryEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class PipelineQueueDepth(TelemetryEvent):
+    """Parallel block-encoder queue state, sampled at submission time.
+
+    ``depth`` is the number of blocks waiting for a worker; ``in_flight``
+    counts everything submitted but not yet framed to the sink (queued +
+    compressing + completed-but-awaiting-in-order-emission).
+    """
+
+    source: str
+    depth: int
+    in_flight: int
+    workers: int
+
+
+@dataclass(frozen=True, slots=True)
 class BackoffUpdated(TelemetryEvent):
     """Algorithm 1 rewarded or punished a level's backoff exponent."""
 
@@ -134,6 +150,7 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     LevelSwitched,
     BlockCompressed,
     TransferProgress,
+    PipelineQueueDepth,
     BackoffUpdated,
     SpanClosed,
 )

@@ -26,6 +26,7 @@ from .events import (
     EpochClosed,
     EventBus,
     LevelSwitched,
+    PipelineQueueDepth,
     SpanClosed,
     TransferProgress,
 )
@@ -77,6 +78,11 @@ def install_metric_subscribers(
     def on_backoff(event: BackoffUpdated) -> None:
         registry.counter(f"backoff.{event.action}").inc()
 
+    def on_queue_depth(event: PipelineQueueDepth) -> None:
+        registry.gauge(f"{event.source}.queue_depth").set(event.depth)
+        registry.gauge(f"{event.source}.in_flight").set(event.in_flight)
+        registry.gauge(f"{event.source}.workers").set(event.workers)
+
     def on_span(event: SpanClosed) -> None:
         registry.histogram(f"span.{event.name}.seconds").observe(event.seconds)
 
@@ -86,6 +92,7 @@ def install_metric_subscribers(
         bus.subscribe(on_block, BlockCompressed),
         bus.subscribe(on_progress, TransferProgress),
         bus.subscribe(on_backoff, BackoffUpdated),
+        bus.subscribe(on_queue_depth, PipelineQueueDepth),
         bus.subscribe(on_span, SpanClosed),
     ]
 

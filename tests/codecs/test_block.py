@@ -22,6 +22,7 @@ from repro.codecs import (
     UnknownCodecError,
     decode_block,
     decode_header,
+    decode_payload,
     encode_block,
 )
 from repro.codecs.block import FLAG_STORED_FALLBACK, MAGIC
@@ -218,3 +219,101 @@ class TestBlockProperties:
         """With fallback, framing never costs more than the header."""
         block = encode_block(data, LzmaCodec(preset=0))
         assert block.frame_len <= HEADER_SIZE + len(data)
+
+
+class TestBufferInputs:
+    """encode_block accepts bytes | bytearray | memoryview identically."""
+
+    def test_memoryview_input_matches_bytes(self, codec):
+        data = b"buffer protocol " * 100
+        from_bytes = encode_block(data, codec).frame
+        from_view = encode_block(memoryview(data), codec).frame
+        from_slice = encode_block(memoryview(data * 2)[: len(data)], codec).frame
+        assert bytes(from_view) == bytes(from_bytes)
+        assert bytes(from_slice) == bytes(from_bytes)
+
+    def test_bytearray_input_matches_bytes(self, codec):
+        data = b"mutable source " * 64
+        assert bytes(encode_block(bytearray(data), codec).frame) == bytes(
+            encode_block(data, codec).frame
+        )
+
+    def test_stored_fallback_from_memoryview(self):
+        """RLE inflates this payload => stored frame, built from a view."""
+        data = bytes(range(256)) * 4
+        block = encode_block(memoryview(data), RleCodec())
+        assert block.header.flags & FLAG_STORED_FALLBACK
+        assert decode_block(block.frame) == data
+
+    def test_decode_payload_direct(self):
+        data = b"payload api " * 40
+        block = encode_block(data, LightZlibCodec())
+        header = decode_header(block.frame)
+        assert decode_payload(header, bytes(block.frame[HEADER_SIZE:])) == data
+
+    def test_decode_payload_crc_check(self):
+        block = encode_block(b"q" * 500, NullCodec())
+        payload = bytearray(block.frame[HEADER_SIZE:])
+        payload[0] ^= 0xFF
+        with pytest.raises(CorruptBlockError):
+            decode_payload(decode_header(block.frame), bytes(payload))
+
+
+class ReadintoIO:
+    """Source exposing only ``readinto`` with bounded partial reads."""
+
+    def __init__(self, data: bytes, max_chunk: int = 5) -> None:
+        self._data = data
+        self._pos = 0
+        self.max_chunk = max_chunk
+        self.readinto_calls = 0
+
+    def readinto(self, b) -> int:
+        self.readinto_calls += 1
+        with memoryview(b) as view:
+            n = min(view.nbytes, self.max_chunk, len(self._data) - self._pos)
+            view[:n] = self._data[self._pos : self._pos + n]
+            self._pos += n
+            return n
+
+
+class TestReaderReadinto:
+    """BlockReader prefers the source's ``readinto`` (no copy per read)."""
+
+    def frames(self, blocks, codec=None):
+        codec = codec or LightZlibCodec()
+        return b"".join(bytes(encode_block(b, codec).frame) for b in blocks)
+
+    def test_roundtrip_via_readinto(self):
+        blocks = [b"readinto " * 30, b"", b"\x00" * 400]
+        source = ReadintoIO(self.frames(blocks), max_chunk=7)
+        reader = BlockReader(source)
+        assert list(reader) == blocks
+        assert source.readinto_calls > 0
+
+    def test_clean_eof_via_readinto(self):
+        source = ReadintoIO(self.frames([b"tail" * 50]))
+        reader = BlockReader(source)
+        assert reader.read_block() == b"tail" * 50
+        assert reader.read_block() is None  # EOF at a frame boundary
+
+    def test_truncation_via_readinto(self):
+        whole = self.frames([b"cut me off" * 40])
+        source = ReadintoIO(whole[: len(whole) - 3])
+        reader = BlockReader(source)
+        with pytest.raises(TruncatedStreamError):
+            reader.read_block()
+
+    def test_read_only_source_still_works(self):
+        """Sources without readinto (e.g. test doubles) use read()."""
+
+        class ReadOnlyIO:
+            def __init__(self, data: bytes) -> None:
+                self._inner = io.BytesIO(data)
+
+            def read(self, n: int) -> bytes:
+                return self._inner.read(min(n, 3))
+
+        blocks = [b"fallback path " * 20]
+        reader = BlockReader(ReadOnlyIO(self.frames(blocks)))
+        assert list(reader) == blocks

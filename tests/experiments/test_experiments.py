@@ -80,6 +80,9 @@ class TestExtensions:
     def test_fairness(self):
         assert_result_ok(extensions.run_fairness(scale=SCALE))
 
+    def test_pipeline(self):
+        assert_result_ok(extensions.run_pipeline(scale=SCALE, repeats=1))
+
 
 class TestCommon:
     def test_scheme_factories_cover_table2_rows(self):

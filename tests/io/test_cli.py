@@ -57,6 +57,18 @@ class TestPackUnpack:
             == 0
         )
 
+    def test_workers_option_same_bytes(self, tmp_path, sample_file):
+        """--workers changes scheduling, never the packed bytes."""
+        serial = tmp_path / "serial.abc"
+        parallel = tmp_path / "parallel.abc"
+        base = ["pack", str(sample_file), "--level", "MEDIUM", "--block-size", "8192"]
+        assert main(base[:2] + [str(serial)] + base[2:]) == 0
+        assert main(base[:2] + [str(parallel)] + base[2:] + ["--workers", "4"]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+        restored = tmp_path / "back.bin"
+        assert main(["unpack", str(parallel), str(restored)]) == 0
+        assert restored.read_bytes() == sample_file.read_bytes()
+
     def test_missing_input(self, tmp_path, capsys):
         rc = main(["pack", str(tmp_path / "ghost"), str(tmp_path / "out")])
         assert rc == 1

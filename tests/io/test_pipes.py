@@ -88,6 +88,39 @@ class TestBoundedPipe:
         with pytest.raises(ValueError):
             BoundedPipe(capacity=0)
 
+    def test_readinto_roundtrip(self):
+        pipe = BoundedPipe()
+        pipe.write(b"direct into buffer")
+        buf = bytearray(6)
+        assert pipe.readinto(buf) == 6
+        assert bytes(buf) == b"direct"
+        assert pipe.readinto(memoryview(bytearray(100))[:1]) == 1
+
+    def test_readinto_eof_returns_zero(self):
+        pipe = BoundedPipe()
+        pipe.write(b"xy")
+        pipe.close_write()
+        buf = bytearray(8)
+        assert pipe.readinto(buf) == 2
+        assert pipe.readinto(buf) == 0
+        assert pipe.readinto(bytearray(0)) == 0
+
+    def test_readinto_unblocks_writer(self):
+        pipe = BoundedPipe(capacity=4)
+        pipe.write(b"full")
+        done = threading.Event()
+
+        def write_more():
+            pipe.write(b"more")
+            done.set()
+
+        t = threading.Thread(target=write_more, daemon=True)
+        t.start()
+        buf = bytearray(4)
+        assert pipe.readinto(buf) == 4
+        assert done.wait(timeout=5.0)
+        t.join(timeout=5.0)
+
     def test_read_negative_returns_all(self):
         pipe = BoundedPipe()
         pipe.write(b"everything")
@@ -119,4 +152,31 @@ class TestThrottledPipe:
                 break
             out.extend(chunk)
         assert len(out) == 110
+        assert ft.slept == pytest.approx(1.0, rel=0.05)
+
+    def test_readinto_consumes_tokens(self):
+        class FT:
+            now = 0.0
+            slept = 0.0
+
+            def clock(self):
+                return self.now
+
+            def sleep(self, s):
+                self.now += s
+                self.slept += s
+
+        ft = FT()
+        bucket = TokenBucket(rate=100.0, capacity=10.0, clock=ft.clock, sleep=ft.sleep)
+        pipe = ThrottledPipe(bucket, capacity=1000)
+        pipe.write(b"y" * 110)
+        pipe.close_write()
+        buf = bytearray(50)
+        total = 0
+        while True:
+            got = pipe.readinto(buf)
+            if not got:
+                break
+            total += got
+        assert total == 110
         assert ft.slept == pytest.approx(1.0, rel=0.05)
