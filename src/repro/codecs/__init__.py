@@ -8,6 +8,7 @@ from .base import Codec, CodecInfo
 from .block import (
     DEFAULT_BLOCK_SIZE,
     HEADER_SIZE,
+    MAX_BLOCK_LEN,
     BlockData,
     BlockHeader,
     BlockReader,
@@ -19,7 +20,13 @@ from .block import (
     encode_block,
 )
 from .bz2_codec import Bz2Codec
-from .errors import CodecError, CorruptBlockError, TruncatedStreamError, UnknownCodecError
+from .errors import (
+    CodecError,
+    CorruptBlockError,
+    OversizedBlockError,
+    TruncatedStreamError,
+    UnknownCodecError,
+)
 from .inspect import CodecUsage, StreamInfo, scan_block_stream
 from .lzma_codec import LzmaCodec
 from .null_codec import NullCodec
@@ -33,6 +40,7 @@ __all__ = [
     "CodecInfo",
     "CodecError",
     "CorruptBlockError",
+    "OversizedBlockError",
     "TruncatedStreamError",
     "UnknownCodecError",
     "NullCodec",
@@ -56,6 +64,7 @@ __all__ = [
     "BlockData",
     "DEFAULT_BLOCK_SIZE",
     "HEADER_SIZE",
+    "MAX_BLOCK_LEN",
     "CodecMeasurement",
     "measure_codec",
     "measure_many",

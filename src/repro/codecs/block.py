@@ -34,7 +34,7 @@ from typing import BinaryIO, Iterator, Optional, Union
 
 from ..telemetry.events import BUS, BlockCompressed
 from .base import Codec
-from .errors import CorruptBlockError, TruncatedStreamError
+from .errors import CorruptBlockError, OversizedBlockError, TruncatedStreamError
 from .registry import DEFAULT_REGISTRY, CodecRegistry
 
 MAGIC = b"AB"
@@ -46,6 +46,12 @@ HEADER_SIZE = HEADER.size  # 20 bytes
 DEFAULT_BLOCK_SIZE = 128 * 1024
 
 FLAG_STORED_FALLBACK = 0x01
+
+#: Sanity ceiling on header length fields: 16x the paper's block size.
+#: Nothing the writers produce comes near it (payloads are bounded by
+#: the block size plus codec overhead), so any larger claim is treated
+#: as corruption before a single byte is allocated for it.
+MAX_BLOCK_LEN = 16 * DEFAULT_BLOCK_SIZE
 
 #: Block payloads are accepted as any C-contiguous byte buffer, so the
 #: stream layer can hand us zero-copy ``memoryview`` slices of its
@@ -161,8 +167,18 @@ def encode_block(
     return EncodedBlock(frame=frame, header=header)
 
 
-def decode_header(raw: BlockData) -> BlockHeader:
-    """Parse and validate a 20-byte frame header (any byte buffer)."""
+def decode_header(raw: BlockData, *, max_len: Optional[int] = None) -> BlockHeader:
+    """Parse and validate a 20-byte frame header (any byte buffer).
+
+    ``max_len`` bounds both length fields (default
+    :data:`MAX_BLOCK_LEN`); a header claiming more raises
+    :class:`~repro.codecs.errors.OversizedBlockError` so corrupted
+    length bytes can never drive a multi-GB allocation downstream.
+    Pass a larger bound explicitly for streams written with an
+    unusually large block size.
+    """
+    if max_len is None:
+        max_len = MAX_BLOCK_LEN
     if _nbytes(raw) < HEADER_SIZE:
         raise TruncatedStreamError(
             f"need {HEADER_SIZE} header bytes, got {len(raw)}"
@@ -172,6 +188,10 @@ def decode_header(raw: BlockData) -> BlockHeader:
         raise CorruptBlockError(f"bad magic {magic!r}")
     if version != FORMAT_VERSION:
         raise CorruptBlockError(f"unsupported format version {version}")
+    if ulen > max_len:
+        raise OversizedBlockError("uncompressed_len", ulen, max_len)
+    if clen > max_len:
+        raise OversizedBlockError("compressed_len", clen, max_len)
     return BlockHeader(
         codec_id=codec_id,
         flags=flags,
@@ -269,6 +289,13 @@ class BlockWriter:
     def close(self) -> None:
         """No-op counterpart of the parallel encoder's worker shutdown."""
 
+    def abort(self) -> None:
+        """No-op counterpart of the parallel encoder's error teardown.
+
+        Error paths call this instead of :meth:`close` so teardown
+        never writes to a sink that is already known to be broken.
+        """
+
 
 class BlockReader:
     """Incrementally read framed blocks from a binary file-like object.
@@ -278,9 +305,16 @@ class BlockReader:
     (mid-frame).
     """
 
-    def __init__(self, source: BinaryIO, registry: CodecRegistry = DEFAULT_REGISTRY) -> None:
+    def __init__(
+        self,
+        source: BinaryIO,
+        registry: CodecRegistry = DEFAULT_REGISTRY,
+        *,
+        max_block_len: Optional[int] = None,
+    ) -> None:
         self._source = source
         self._registry = registry
+        self._max_block_len = max_block_len
         # Prefer scatter reads straight into our buffer; fall back to
         # read() for minimal sources (e.g. BoundedPipe-like objects).
         self._readinto = getattr(source, "readinto", None)
@@ -324,7 +358,7 @@ class BlockReader:
         raw_header = self._read_exact(HEADER_SIZE, allow_eof=True)
         if raw_header is None:
             return None
-        header = decode_header(raw_header)
+        header = decode_header(raw_header, max_len=self._max_block_len)
         payload = self._read_exact(header.compressed_len, allow_eof=False)
         assert payload is not None
         data = decode_payload(header, payload, self._registry)

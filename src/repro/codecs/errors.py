@@ -21,3 +21,21 @@ class CorruptBlockError(CodecError):
 
 class TruncatedStreamError(CorruptBlockError):
     """Raised when a block stream ends in the middle of a frame."""
+
+
+class OversizedBlockError(CorruptBlockError):
+    """Raised when a header claims a payload beyond the sanity bound.
+
+    Four corrupted length bytes can claim a multi-GB payload; rejecting
+    the header *before* the reader allocates keeps corruption from
+    turning into an allocation bomb.
+    """
+
+    def __init__(self, field: str, value: int, bound: int) -> None:
+        super().__init__(
+            f"header {field} {value} exceeds sanity bound {bound} "
+            "(corrupted length bytes?)"
+        )
+        self.field = field
+        self.value = value
+        self.bound = bound

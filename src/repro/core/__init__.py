@@ -23,6 +23,7 @@ from .levels import (
 )
 from .pipeline import ParallelBlockEncoder, make_block_encoder
 from .rate import EpochSample, RateMeter, RateWindow
+from .recovery import ResyncBlockReader, RetryPolicy, retry_call
 from .stream import AdaptiveBlockWriter, StaticBlockWriter
 
 __all__ = [
@@ -46,4 +47,7 @@ __all__ = [
     "StaticBlockWriter",
     "ParallelBlockEncoder",
     "make_block_encoder",
+    "ResyncBlockReader",
+    "RetryPolicy",
+    "retry_call",
 ]

@@ -233,11 +233,31 @@ class ParallelBlockEncoder:
         try:
             self.flush()
         finally:
-            for _ in self._threads:
-                self._jobs.put(_SHUTDOWN)
-            for thread in self._threads:
-                thread.join()
-            self._results.clear()
+            self._shutdown_workers()
+
+    def abort(self) -> None:
+        """Stop and join the workers without emitting pending frames.
+
+        The error-path counterpart of :meth:`close`: when the sink is
+        already known to be broken (socket reset, receiver died),
+        draining would either raise again or block on a dead peer.
+        ``abort`` discards everything in flight, never touches the
+        sink, and swallows the latched worker error — the caller is
+        already propagating the original failure.  Idempotent, and safe
+        after ``close``.
+        """
+        self._closed = True
+        self._shutdown_workers()
+        with self._cond:
+            self._next_emit = self._next_submit
+            self._error = None
+
+    def _shutdown_workers(self) -> None:
+        for _ in self._threads:
+            self._jobs.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join()
+        self._results.clear()
 
     def __enter__(self) -> "ParallelBlockEncoder":
         return self

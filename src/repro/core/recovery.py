@@ -1,0 +1,246 @@
+"""Recovery on the block-transfer path: resync decoding and retries.
+
+Section III-B's framing makes every 128 KB block self-contained — "each
+block contains all the information to be decompressed by the receiver"
+— which means corruption *should* cost one block, not the job.  The
+strict :class:`~repro.codecs.block.BlockReader` deliberately fails the
+whole stream on the first bad byte; :class:`ResyncBlockReader` is the
+lenient counterpart that cashes in the self-containment claim: on a
+CRC mismatch, bad header or undecodable payload it scans forward for
+the next ``MAGIC`` boundary, skips the damaged region, and keeps
+decoding, reporting ``blocks_skipped``/``bytes_skipped`` instead of
+raising.
+
+:class:`RetryPolicy` is the shared exponential-backoff schedule used by
+:func:`repro.io.sockets.run_socket_transfer` for connect retries; it is
+deterministic (seeded jitter) so tests can assert exact delays.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import BinaryIO, Callable, Iterator, List, Optional, Tuple, Type
+
+from ..codecs.block import HEADER_SIZE, MAGIC, decode_header, decode_payload
+from ..codecs.errors import CodecError, CorruptBlockError
+from ..codecs.registry import DEFAULT_REGISTRY, CodecRegistry
+from ..telemetry.events import BUS, BlockSkipped
+
+__all__ = ["ResyncBlockReader", "RetryPolicy", "retry_call"]
+
+#: Read granularity while refilling the resync buffer.
+_READ_CHUNK = 64 * 1024
+
+
+class ResyncBlockReader:
+    """Decode a framed block stream, skipping damaged regions.
+
+    Drop-in replacement for :class:`~repro.codecs.block.BlockReader`
+    (same iteration protocol, same ``blocks_read``/``bytes_in``/
+    ``bytes_out`` counters) that never raises on corruption.  The
+    resync algorithm (see docs/robustness.md):
+
+    1. Scan the buffered stream for the two-byte ``MAGIC``; bytes
+       before it are damage, counted into ``bytes_skipped``.
+    2. Validate the candidate header (magic, version, sane lengths —
+       the same bounds as the strict reader).  An invalid header means
+       a false ``MAGIC`` inside damaged bytes: slide one byte and
+       rescan.
+    3. CRC-check and decompress the candidate payload.  On any
+       failure, slide one byte past the candidate's magic and rescan —
+       crucially *without* trusting the candidate's claimed payload
+       length, so a corrupted length field can never swallow healthy
+       downstream frames.
+    4. Each maximal run of discarded bytes counts as **one** entry in
+       ``blocks_skipped`` (isolated corruption damages exactly one
+       block) and publishes one
+       :class:`~repro.telemetry.events.BlockSkipped` event.
+
+    Decoded output is therefore always a prefix-preserving ordered
+    subsequence of the original blocks — never silently wrong bytes.
+    """
+
+    def __init__(
+        self,
+        source: BinaryIO,
+        registry: CodecRegistry = DEFAULT_REGISTRY,
+        *,
+        max_block_len: Optional[int] = None,
+    ) -> None:
+        self._source = source
+        self._registry = registry
+        self._max_block_len = max_block_len
+        self._readinto = getattr(source, "readinto", None)
+        self._buffer = bytearray()
+        self._eof = False
+        #: Bytes discarded while scanning since the last good block
+        #: (pending until attributed to a skip region).
+        self._pending_skip = 0
+        self.blocks_read = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        #: Number of damaged regions skipped (>= damaged blocks merged
+        #: into contiguous runs, == damaged blocks for isolated faults).
+        self.blocks_skipped = 0
+        #: Total damaged/undecodable bytes discarded.
+        self.bytes_skipped = 0
+
+    # -- buffered input ---------------------------------------------
+
+    def _fill(self, need: int) -> bool:
+        """Grow the buffer to ``need`` bytes; False once EOF gets in
+        the way."""
+        while len(self._buffer) < need and not self._eof:
+            want = max(need - len(self._buffer), _READ_CHUNK)
+            chunk = self._source.read(want)
+            if not chunk:
+                self._eof = True
+                break
+            self._buffer.extend(chunk)
+        return len(self._buffer) >= need
+
+    def _discard(self, n: int) -> None:
+        del self._buffer[:n]
+        self._pending_skip += n
+        self.bytes_in += n
+
+    def _close_skip_region(self) -> None:
+        """Fold pending discarded bytes into the public counters."""
+        if not self._pending_skip:
+            return
+        self.blocks_skipped += 1
+        self.bytes_skipped += self._pending_skip
+        if BUS.active:
+            BUS.publish(
+                BlockSkipped(
+                    ts=BUS.now(),
+                    source="resync-reader",
+                    bytes_skipped=self._pending_skip,
+                    total_blocks_skipped=self.blocks_skipped,
+                    total_bytes_skipped=self.bytes_skipped,
+                )
+            )
+        self._pending_skip = 0
+
+    # -- decoding ---------------------------------------------------
+
+    def read_block(self) -> Optional[bytes]:
+        """Next decodable block, or ``None`` once the stream is spent.
+
+        Never raises on corruption; damage is skipped and counted.
+        """
+        while True:
+            if not self._fill(HEADER_SIZE):
+                # Too few bytes left to hold any frame: whatever
+                # remains is damage (e.g. a truncated final frame).
+                if self._buffer:
+                    self._discard(len(self._buffer))
+                self._close_skip_region()
+                return None
+            idx = self._buffer.find(MAGIC)
+            if idx < 0:
+                # Keep the final byte: it may be the first half of a
+                # MAGIC split across the chunk boundary.
+                self._discard(len(self._buffer) - 1)
+                continue
+            if idx > 0:
+                self._discard(idx)
+                continue
+            try:
+                header = decode_header(
+                    self._buffer[:HEADER_SIZE], max_len=self._max_block_len
+                )
+            except CorruptBlockError:
+                self._discard(1)
+                continue
+            need = HEADER_SIZE + header.compressed_len
+            if not self._fill(need):
+                # EOF before the claimed payload: either a truncated
+                # tail frame or a false header — slide and rescan what
+                # we do have.
+                self._discard(1)
+                continue
+            with memoryview(self._buffer) as view:
+                payload = view[HEADER_SIZE:need]
+                try:
+                    data = decode_payload(header, payload, self._registry)
+                except CodecError:
+                    data = None
+                finally:
+                    payload.release()
+            if data is None:
+                self._discard(1)
+                continue
+            del self._buffer[:need]
+            self._close_skip_region()
+            self.blocks_read += 1
+            self.bytes_in += need
+            self.bytes_out += len(data)
+            return data
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            block = self.read_block()
+            if block is None:
+                return
+            yield block
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff schedule.
+
+    ``delays()`` yields ``attempts - 1`` sleep durations: ``base``
+    doubled each retry, capped at ``max_delay``, with multiplicative
+    jitter in ``[1 - jitter, 1 + jitter]`` drawn from ``seed`` so runs
+    are reproducible.
+    """
+
+    attempts: int = 4
+    base: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base < 0 or self.max_delay < 0 or not 0 <= self.jitter < 1:
+            raise ValueError("invalid backoff parameters")
+
+    def delays(self) -> Iterator[float]:
+        rng = random.Random(self.seed)
+        delay = self.base
+        for _ in range(self.attempts - 1):
+            scale = 1.0 + rng.uniform(-self.jitter, self.jitter)
+            yield min(delay, self.max_delay) * scale
+            delay = min(delay * 2, self.max_delay)
+
+
+def retry_call(
+    fn: Callable[[], "object"],
+    *,
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Call ``fn`` under ``policy``, re-raising the last failure.
+
+    Only exceptions in ``retry_on`` are retried; anything else
+    propagates immediately.  The failed attempts' exceptions are
+    attached to the final error via ``__cause__`` chaining.
+    """
+    failures: List[BaseException] = []
+    delays = policy.delays()
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            failures.append(exc)
+            try:
+                pause = next(delays)
+            except StopIteration:
+                raise exc from (failures[-2] if len(failures) > 1 else None)
+            sleep(pause)

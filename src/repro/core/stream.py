@@ -166,6 +166,16 @@ class AdaptiveBlockWriter:
                 self._writer.close()
                 self._closed = True
 
+    def abort(self) -> None:
+        """Discard buffered data and stop workers without writing.
+
+        Error-path teardown: used when the sink is already broken, so
+        flushing would raise a secondary error or block.  Idempotent.
+        """
+        self._buffer.clear()
+        self._writer.abort()
+        self._closed = True
+
     def __enter__(self) -> "AdaptiveBlockWriter":
         return self
 
@@ -236,6 +246,12 @@ class StaticBlockWriter:
             finally:
                 self._writer.close()
                 self._closed = True
+
+    def abort(self) -> None:
+        """Same error-path teardown as :meth:`AdaptiveBlockWriter.abort`."""
+        self._buffer.clear()
+        self._writer.abort()
+        self._closed = True
 
     def __enter__(self) -> "StaticBlockWriter":
         return self

@@ -35,6 +35,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-memory": extensions.run_memory,
     "ext-fairness": extensions.run_fairness,
     "ext-pipeline": extensions.run_pipeline,
+    "ext-faults": extensions.run_faults,
 }
 
 PAPER_SET = ("fig1", "fig2", "fig3", "table2", "fig4", "fig5", "fig6")
@@ -55,8 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale",
         type=float,
-        default=0.1,
+        default=None,
         help="data-volume scale vs the paper's 50 GB (default 0.1; 1.0 = full)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-grade quick run: scale 0.02 unless --scale is given explicitly",
     )
     parser.add_argument("--seed", type=int, default=None, help="override base seed")
     parser.add_argument(
@@ -103,6 +109,9 @@ def main(argv=None) -> int:
         else:
             print(f"unknown experiment {item!r}; use --list", file=sys.stderr)
             return 2
+
+    if args.scale is None:
+        args.scale = 0.02 if args.quick else 0.1
 
     any_failed = False
     json_payload = {}

@@ -1,7 +1,21 @@
-"""Real-mode I/O: throttles, pipes, localhost TCP transfer, file tools."""
+"""Real-mode I/O: throttles, pipes, faults, localhost TCP transfer, file tools."""
 
+from .faults import (
+    BitFlip,
+    FaultPlan,
+    FaultyReader,
+    FaultyWriter,
+    Reset,
+    Stall,
+    Truncate,
+)
 from .pipes import BoundedPipe, PipeClosedError, ThrottledPipe
-from .sockets import ReceiverThread, SocketTransferResult, run_socket_transfer
+from .sockets import (
+    ReceiverError,
+    ReceiverThread,
+    SocketTransferResult,
+    run_socket_transfer,
+)
 from .streams import FileCompressionResult, compress_file, decompress_file
 from .throttle import ThrottledWriter, TokenBucket
 
@@ -11,9 +25,17 @@ __all__ = [
     "BoundedPipe",
     "ThrottledPipe",
     "PipeClosedError",
+    "BitFlip",
+    "Truncate",
+    "Stall",
+    "Reset",
+    "FaultPlan",
+    "FaultyWriter",
+    "FaultyReader",
     "run_socket_transfer",
     "SocketTransferResult",
     "ReceiverThread",
+    "ReceiverError",
     "compress_file",
     "decompress_file",
     "FileCompressionResult",

@@ -32,6 +32,7 @@ class BoundedPipe:
         self._readable = threading.Condition(self._lock)
         self._writable = threading.Condition(self._lock)
         self._write_closed = False
+        self._read_closed = False
         self.total_bytes = 0
 
     def write(self, data: bytes) -> int:
@@ -41,11 +42,11 @@ class BoundedPipe:
         view = memoryview(data)
         while written < len(data):
             with self._writable:
-                if self._write_closed:
+                if self._write_closed or self._read_closed:
                     raise PipeClosedError("pipe closed for writing")
                 while len(self._buffer) >= self.capacity:
                     self._writable.wait()
-                    if self._write_closed:
+                    if self._write_closed or self._read_closed:
                         raise PipeClosedError("pipe closed for writing")
                 room = self.capacity - len(self._buffer)
                 chunk = view[written : written + room]
@@ -62,9 +63,9 @@ class BoundedPipe:
         drained).
         """
         with self._readable:
-            while not self._buffer and not self._write_closed:
+            while not self._buffer and not self._write_closed and not self._read_closed:
                 self._readable.wait()
-            if not self._buffer:
+            if not self._buffer or self._read_closed:
                 return b""
             if n is None or n < 0:
                 n = len(self._buffer)
@@ -84,9 +85,13 @@ class BoundedPipe:
             if n == 0:
                 return 0
             with self._readable:
-                while not self._buffer and not self._write_closed:
+                while (
+                    not self._buffer
+                    and not self._write_closed
+                    and not self._read_closed
+                ):
                     self._readable.wait()
-                if not self._buffer:
+                if not self._buffer or self._read_closed:
                     return 0
                 take = min(n, len(self._buffer))
                 # Copy straight from the pipe buffer into the caller's
@@ -101,6 +106,20 @@ class BoundedPipe:
     def close_write(self) -> None:
         with self._lock:
             self._write_closed = True
+            self._readable.notify_all()
+            self._writable.notify_all()
+
+    def close_read(self) -> None:
+        """Abandon the read side: discard the buffer, fail writers.
+
+        A consumer that dies mid-transfer (e.g. a receiver giving up on
+        a corrupt stream) calls this so a producer blocked on a full
+        pipe wakes with :class:`PipeClosedError` instead of hanging
+        forever — the in-process analogue of a connection reset.
+        """
+        with self._lock:
+            self._read_closed = True
+            self._buffer.clear()
             self._readable.notify_all()
             self._writable.notify_all()
 

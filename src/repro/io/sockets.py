@@ -8,6 +8,17 @@ decompresses the block stream; the sender pushes a
 the socket, optionally behind a token-bucket throttle standing in for
 the contended link.
 
+Robustness contract (see docs/robustness.md): the transfer either
+completes or fails with a single well-attributed exception, and in both
+cases every resource is reclaimed — the receiver thread is joined, both
+sockets and their file objects are closed, and any pipeline workers are
+stopped.  Connects retry with exponential backoff
+(:class:`~repro.core.recovery.RetryPolicy`), accepts and sends/receives
+are bounded by timeouts, and ``resync=True`` swaps the receiver's
+strict :class:`~repro.codecs.block.BlockReader` for the
+:class:`~repro.core.recovery.ResyncBlockReader`, which skips damaged
+blocks instead of failing the stream.
+
 Caveat recorded in EXPERIMENTS.md: with ``workers=1`` compression,
 socket I/O and decompression share the CPython GIL, so absolute
 throughputs are not comparable to the paper's Java implementation — but
@@ -25,11 +36,12 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import BinaryIO, Callable, List, Optional
 
 from ..codecs.block import DEFAULT_BLOCK_SIZE, BlockReader
 from ..core.controller import EpochRecord
 from ..core.levels import CompressionLevelTable
+from ..core.recovery import ResyncBlockReader, RetryPolicy, retry_call
 from ..core.stream import AdaptiveBlockWriter, StaticBlockWriter
 from ..data.datasource import DataSource
 from ..telemetry.events import BUS, TransferProgress
@@ -37,6 +49,123 @@ from .throttle import ThrottledWriter, TokenBucket
 
 #: Application bytes between TransferProgress emissions on the sender.
 PROGRESS_EVERY_BYTES = 8 * 1024 * 1024
+
+#: Default bound on how long the receiver waits for a connection.
+DEFAULT_ACCEPT_TIMEOUT = 30.0
+
+
+class ReceiverError(RuntimeError):
+    """The receiver thread failed; carries its progress as context.
+
+    Raised by :func:`run_socket_transfer` *from* the receiver's
+    original exception (so the cross-thread traceback is chained, not
+    lost) with the receiver's ``blocks_received``/``bytes_received`` at
+    the time of failure.
+    """
+
+    def __init__(
+        self, message: str, *, blocks_received: int = 0, bytes_received: int = 0
+    ) -> None:
+        super().__init__(
+            f"{message} (receiver had decoded {blocks_received} blocks, "
+            f"{bytes_received} bytes)"
+        )
+        self.blocks_received = blocks_received
+        self.bytes_received = bytes_received
+
+
+class ReceiverThread(threading.Thread):
+    """Accept one connection; decompress and count everything.
+
+    ``resync=True`` decodes with
+    :class:`~repro.core.recovery.ResyncBlockReader` — damaged blocks
+    are skipped and counted instead of failing the stream.  The accept
+    wait is bounded by ``accept_timeout`` and per-read waits by
+    ``recv_timeout``; a breached bound surfaces through ``error`` like
+    any other failure, so the thread can never hang forever on a
+    sender that dies before (or after) connecting.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        *,
+        resync: bool = False,
+        accept_timeout: Optional[float] = DEFAULT_ACCEPT_TIMEOUT,
+        recv_timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(name="repro-receiver", daemon=True)
+        self._stopped = False
+        self._listener = socket.create_server((host, 0))
+        self._listener.settimeout(accept_timeout)
+        self._recv_timeout = recv_timeout
+        self._resync = resync
+        self.address = self._listener.getsockname()
+        self.bytes_received = 0
+        self.blocks_received = 0
+        self.blocks_skipped = 0
+        self.bytes_skipped = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            try:
+                conn, _ = self._listener.accept()
+            except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+                # A failure provoked by stop() itself (the wakeup
+                # connection or the listener close racing the accept)
+                # is a clean shutdown, not an error to surface.
+                if not self._stopped:
+                    self.error = exc
+                return
+            # The accepted connection may be stop()'s wakeup rather
+            # than a real sender; no need to tell them apart — the
+            # wakeup is already closed, reads as instant EOF and
+            # decodes to zero blocks.
+            with conn:
+                conn.settimeout(self._recv_timeout)
+                rfile = conn.makefile("rb")
+                try:
+                    reader = (
+                        ResyncBlockReader(rfile)
+                        if self._resync
+                        else BlockReader(rfile)
+                    )
+                    for block in reader:
+                        self.bytes_received += len(block)
+                        self.blocks_received += 1
+                    if self._resync:
+                        self.blocks_skipped = reader.blocks_skipped
+                        self.bytes_skipped = reader.bytes_skipped
+                finally:
+                    rfile.close()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            self.error = exc
+        finally:
+            self._listener.close()
+
+    def stop(self) -> None:
+        """Unblock a pending ``accept`` and retire the listener now.
+
+        Closing a listening socket does *not* wake a thread already
+        parked inside ``accept`` on Linux — the poll keeps running
+        until ``accept_timeout``.  So stop() first makes a throwaway
+        self-connection to deliver the wakeup, then closes the
+        listener.  Called by the sender's teardown when the transfer
+        dies before connecting; idempotent and safe at any point in
+        the thread's lifecycle (a wakeup connection racing a finished
+        thread just fails and is ignored).
+        """
+        self._stopped = True
+        try:
+            with socket.create_connection(self.address, timeout=1):
+                pass
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
 
 
 @dataclass
@@ -49,6 +178,9 @@ class SocketTransferResult:
     #: Adaptive-mode epoch trace (empty for static levels).
     epochs: List[EpochRecord] = field(default_factory=list)
     receiver_bytes: int = 0
+    #: Resync-mode damage accounting (always 0 in strict mode).
+    blocks_skipped: int = 0
+    bytes_skipped: int = 0
 
     @property
     def app_rate(self) -> float:
@@ -63,31 +195,6 @@ class SocketTransferResult:
         return self.wire_bytes / self.app_bytes
 
 
-class ReceiverThread(threading.Thread):
-    """Accept one connection; decompress and count everything."""
-
-    def __init__(self, host: str = "127.0.0.1") -> None:
-        super().__init__(name="repro-receiver", daemon=True)
-        self._listener = socket.create_server((host, 0))
-        self.address = self._listener.getsockname()
-        self.bytes_received = 0
-        self.blocks_received = 0
-        self.error: Optional[BaseException] = None
-
-    def run(self) -> None:
-        try:
-            conn, _ = self._listener.accept()
-            with conn:
-                reader = BlockReader(conn.makefile("rb"))
-                for block in reader:
-                    self.bytes_received += len(block)
-                    self.blocks_received += 1
-        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
-            self.error = exc
-        finally:
-            self._listener.close()
-
-
 def run_socket_transfer(
     source: DataSource,
     *,
@@ -99,6 +206,13 @@ def run_socket_transfer(
     alpha: float = 0.2,
     chunk_bytes: int = 64 * 1024,
     workers: int = 1,
+    resync: bool = False,
+    connect_policy: Optional[RetryPolicy] = None,
+    send_timeout: Optional[float] = None,
+    recv_timeout: Optional[float] = None,
+    accept_timeout: Optional[float] = DEFAULT_ACCEPT_TIMEOUT,
+    join_timeout: float = 60.0,
+    wrap_sink: Optional[Callable[[BinaryIO], BinaryIO]] = None,
 ) -> SocketTransferResult:
     """Send ``source`` over a real localhost TCP connection.
 
@@ -108,44 +222,90 @@ def run_socket_transfer(
     2 s so short test transfers still see several decision epochs.
     ``workers`` > 1 compresses blocks on a thread pipeline (identical
     wire bytes; see the module docstring for when this helps).
+
+    Robustness knobs: ``connect_policy`` retries the connect with
+    exponential backoff (default :class:`RetryPolicy()`);
+    ``send_timeout``/``recv_timeout``/``accept_timeout`` bound every
+    socket wait; ``resync=True`` makes the receiver skip damaged
+    blocks (reported via ``blocks_skipped``/``bytes_skipped``) instead
+    of failing.  ``wrap_sink`` wraps the sender's wire-side file object
+    — the hook the fault-injection harness uses to corrupt, stall or
+    reset the stream (see :mod:`repro.io.faults`).
+
+    Failure contract: a receiver-side failure raises
+    :class:`ReceiverError` chained from the original exception; a
+    sender-side failure propagates as-is — and on **every** path the
+    receiver thread is joined, both sockets are closed and pipeline
+    workers are stopped, so no thread or fd outlives the call.
     """
-    receiver = ReceiverThread()
+    receiver = ReceiverThread(
+        resync=resync, accept_timeout=accept_timeout, recv_timeout=recv_timeout
+    )
     receiver.start()
+    policy = connect_policy if connect_policy is not None else RetryPolicy()
 
-    sock = socket.create_connection(receiver.address)
-    raw_sink = sock.makefile("wb")
-    if rate_limit is not None:
-        bucket = TokenBucket(rate=rate_limit, capacity=max(rate_limit / 20, 64 * 1024))
-        sink = ThrottledWriter(raw_sink, bucket)
-    else:
-        sink = raw_sink
-
-    t0 = time.monotonic()
+    sock: Optional[socket.socket] = None
+    raw_sink = None
+    writer = None
+    sender_exc: Optional[BaseException] = None
+    completed = False
     epochs: List[EpochRecord] = []
-    if static_level is None:
-        writer = AdaptiveBlockWriter(
-            sink,
-            levels,
-            block_size=block_size,
-            epoch_seconds=epoch_seconds,
-            alpha=alpha,
-            workers=workers,
-        )
-    else:
-        writer = StaticBlockWriter(
-            sink, static_level, levels, block_size=block_size, workers=workers
-        )
-
     app_bytes = 0
-    next_progress = PROGRESS_EVERY_BYTES
-    while True:
-        chunk = source.read(chunk_bytes)
-        if not chunk:
-            break
-        writer.write(chunk)
-        app_bytes += len(chunk)
-        if BUS.active and app_bytes >= next_progress:
-            next_progress = app_bytes + PROGRESS_EVERY_BYTES
+    wire_bytes = 0
+    t0 = time.monotonic()
+    try:
+        sock = retry_call(
+            lambda: socket.create_connection(receiver.address),
+            policy=policy,
+            retry_on=(OSError,),
+        )
+        sock.settimeout(send_timeout)
+        raw_sink = sock.makefile("wb")
+        sink: BinaryIO = raw_sink
+        if wrap_sink is not None:
+            sink = wrap_sink(sink)
+        if rate_limit is not None:
+            bucket = TokenBucket(
+                rate=rate_limit, capacity=max(rate_limit / 20, 64 * 1024)
+            )
+            sink = ThrottledWriter(sink, bucket)
+
+        if static_level is None:
+            writer = AdaptiveBlockWriter(
+                sink,
+                levels,
+                block_size=block_size,
+                epoch_seconds=epoch_seconds,
+                alpha=alpha,
+                workers=workers,
+            )
+        else:
+            writer = StaticBlockWriter(
+                sink, static_level, levels, block_size=block_size, workers=workers
+            )
+
+        next_progress = PROGRESS_EVERY_BYTES
+        while True:
+            chunk = source.read(chunk_bytes)
+            if not chunk:
+                break
+            writer.write(chunk)
+            app_bytes += len(chunk)
+            if BUS.active and app_bytes >= next_progress:
+                next_progress = app_bytes + PROGRESS_EVERY_BYTES
+                BUS.publish(
+                    TransferProgress(
+                        ts=BUS.now(),
+                        source="socket",
+                        bytes_in=writer.bytes_in,
+                        bytes_out=writer.bytes_out,
+                        ratio=writer.bytes_out / writer.bytes_in
+                        if writer.bytes_in
+                        else 1.0,
+                    )
+                )
+        writer.close()
+        if BUS.active:
             BUS.publish(
                 TransferProgress(
                     ts=BUS.now(),
@@ -155,34 +315,72 @@ def run_socket_transfer(
                     ratio=writer.bytes_out / writer.bytes_in
                     if writer.bytes_in
                     else 1.0,
+                    done=True,
                 )
             )
-    writer.close()
-    if BUS.active:
-        BUS.publish(
-            TransferProgress(
-                ts=BUS.now(),
-                source="socket",
-                bytes_in=writer.bytes_in,
-                bytes_out=writer.bytes_out,
-                ratio=writer.bytes_out / writer.bytes_in if writer.bytes_in else 1.0,
-                done=True,
-            )
-        )
-    if static_level is None:
-        epochs = list(writer.controller.trace)
-    wire_bytes = writer.bytes_out
-    raw_sink.flush()
-    raw_sink.close()
-    sock.close()
+        if static_level is None:
+            epochs = list(writer.controller.trace)
+        wire_bytes = writer.bytes_out
+        raw_sink.flush()
+        completed = True
+    except BaseException as exc:  # noqa: BLE001 - re-raised below after teardown
+        sender_exc = exc
+    finally:
+        # Guaranteed teardown, tolerant of every partial state: abort
+        # (not close) the writer so nothing tries to flush into a sink
+        # that is already broken, then close both fds, then unblock a
+        # receiver that may still be sitting in accept, then join it.
+        if writer is not None and not completed:
+            try:
+                writer.abort()
+            except Exception:  # pragma: no cover - teardown is best-effort
+                pass
+        if raw_sink is not None:
+            try:
+                raw_sink.close()
+            except OSError:
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - teardown is best-effort
+                pass
+        if sock is None:
+            # The sender never connected, so the receiver may be parked
+            # in accept(); wake and retire it.  When a connection *was*
+            # made we must not stop() yet — the receiver might not have
+            # reached accept() at all, and closing the listener now
+            # would orphan the real pending connection.  The closed
+            # sender socket already guarantees it EOFs out.
+            receiver.stop()
+        receiver.join(timeout=join_timeout)
+        if receiver.is_alive():
+            # Last resort for a receiver stuck past join_timeout.
+            receiver.stop()
+            receiver.join(timeout=5.0)
 
-    receiver.join(timeout=60.0)
     wall = time.monotonic() - t0
+    if sender_exc is not None:
+        if receiver.error is not None and isinstance(
+            sender_exc, (BrokenPipeError, ConnectionResetError, ConnectionAbortedError)
+        ):
+            # The sender's pipe error is a symptom: the receiver died
+            # first and the kernel reset the connection under us.
+            raise ReceiverError(
+                f"receiver failed: {receiver.error!r}",
+                blocks_received=receiver.blocks_received,
+                bytes_received=receiver.bytes_received,
+            ) from receiver.error
+        raise sender_exc
     if receiver.is_alive():
-        raise TimeoutError("receiver did not finish")
+        raise TimeoutError(f"receiver did not finish within {join_timeout}s")
     if receiver.error is not None:
-        raise receiver.error
-    if receiver.bytes_received != app_bytes:
+        raise ReceiverError(
+            f"receiver failed: {receiver.error!r}",
+            blocks_received=receiver.blocks_received,
+            bytes_received=receiver.bytes_received,
+        ) from receiver.error
+    if not resync and wrap_sink is None and receiver.bytes_received != app_bytes:
         raise AssertionError(
             f"receiver got {receiver.bytes_received} bytes, sender sent {app_bytes}"
         )
@@ -192,4 +390,6 @@ def run_socket_transfer(
         wall_seconds=wall,
         epochs=epochs,
         receiver_bytes=receiver.bytes_received,
+        blocks_skipped=receiver.blocks_skipped,
+        bytes_skipped=receiver.bytes_skipped,
     )

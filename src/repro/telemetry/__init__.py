@@ -28,8 +28,10 @@ from .events import (
     BUS,
     BackoffUpdated,
     BlockCompressed,
+    BlockSkipped,
     EpochClosed,
     EventBus,
+    FaultInjected,
     LevelSwitched,
     PipelineQueueDepth,
     SpanClosed,
@@ -65,6 +67,8 @@ __all__ = [
     "TransferProgress",
     "PipelineQueueDepth",
     "BackoffUpdated",
+    "FaultInjected",
+    "BlockSkipped",
     "SpanClosed",
     "EventBus",
     "BUS",

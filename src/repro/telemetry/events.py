@@ -33,6 +33,8 @@ __all__ = [
     "TransferProgress",
     "PipelineQueueDepth",
     "BackoffUpdated",
+    "FaultInjected",
+    "BlockSkipped",
     "SpanClosed",
     "EventBus",
     "BUS",
@@ -130,6 +132,38 @@ class BackoffUpdated(TelemetryEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class FaultInjected(TelemetryEvent):
+    """A fault-injecting stream wrapper fired one planned fault.
+
+    Emitted by :mod:`repro.io.faults` wrappers; ``side`` is
+    ``"write"`` or ``"read"``, ``kind`` names the fault
+    (``"bitflip"``/``"truncate"``/``"stall"``/``"reset"``), ``offset``
+    is the absolute stream byte offset the fault was anchored to.
+    """
+
+    source: str
+    side: str
+    kind: str
+    offset: int
+
+
+@dataclass(frozen=True, slots=True)
+class BlockSkipped(TelemetryEvent):
+    """Resync-mode block decoding gave up on one damaged region.
+
+    Emitted by :class:`repro.core.recovery.ResyncBlockReader` once per
+    contiguous run of undecodable bytes; ``bytes_skipped`` is that
+    region's size and the ``total_*`` fields are the reader's running
+    counters after the skip.
+    """
+
+    source: str
+    bytes_skipped: int
+    total_blocks_skipped: int
+    total_bytes_skipped: int
+
+
+@dataclass(frozen=True, slots=True)
 class SpanClosed(TelemetryEvent):
     """A tracing span (``with span(...)``) exited."""
 
@@ -152,6 +186,8 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     TransferProgress,
     PipelineQueueDepth,
     BackoffUpdated,
+    FaultInjected,
+    BlockSkipped,
     SpanClosed,
 )
 

@@ -23,8 +23,10 @@ from .events import (
     BUS,
     BackoffUpdated,
     BlockCompressed,
+    BlockSkipped,
     EpochClosed,
     EventBus,
+    FaultInjected,
     LevelSwitched,
     PipelineQueueDepth,
     SpanClosed,
@@ -86,6 +88,13 @@ def install_metric_subscribers(
     def on_span(event: SpanClosed) -> None:
         registry.histogram(f"span.{event.name}.seconds").observe(event.seconds)
 
+    def on_fault(event: FaultInjected) -> None:
+        registry.counter(f"faults.{event.kind}").inc()
+
+    def on_skip(event: BlockSkipped) -> None:
+        registry.counter("resync.blocks_skipped").inc()
+        registry.counter("resync.bytes_skipped").inc(event.bytes_skipped)
+
     return [
         bus.subscribe(on_epoch, EpochClosed),
         bus.subscribe(on_switch, LevelSwitched),
@@ -94,6 +103,8 @@ def install_metric_subscribers(
         bus.subscribe(on_backoff, BackoffUpdated),
         bus.subscribe(on_queue_depth, PipelineQueueDepth),
         bus.subscribe(on_span, SpanClosed),
+        bus.subscribe(on_fault, FaultInjected),
+        bus.subscribe(on_skip, BlockSkipped),
     ]
 
 

@@ -11,12 +11,14 @@ from hypothesis import strategies as st
 from repro.codecs import (
     DEFAULT_BLOCK_SIZE,
     HEADER_SIZE,
+    MAX_BLOCK_LEN,
     BlockReader,
     BlockWriter,
     CorruptBlockError,
     LightZlibCodec,
     LzmaCodec,
     NullCodec,
+    OversizedBlockError,
     RleCodec,
     TruncatedStreamError,
     UnknownCodecError,
@@ -127,6 +129,41 @@ class TestCorruption:
         frame[8] = (frame[8] + 1) % 256  # uncompressed_len low byte
         with pytest.raises(CorruptBlockError):
             decode_block(bytes(frame))
+
+    def test_oversized_compressed_len_rejected_before_allocation(self):
+        # A corrupted length field claiming gigabytes must be rejected
+        # at header-validation time, before any buffer is sized by it.
+        frame = self._frame()
+        frame[12:16] = (0x7FFF_FFFF).to_bytes(4, "little")  # compressed_len
+        with pytest.raises(OversizedBlockError) as info:
+            decode_header(bytes(frame))
+        assert info.value.field == "compressed_len"
+        assert info.value.bound == MAX_BLOCK_LEN
+
+    def test_oversized_uncompressed_len_rejected(self):
+        frame = self._frame()
+        frame[8:12] = (MAX_BLOCK_LEN + 1).to_bytes(4, "little")
+        with pytest.raises(OversizedBlockError):
+            decode_header(bytes(frame))
+
+    def test_oversized_is_a_corrupt_block_error(self):
+        # Callers catching CorruptBlockError keep working unchanged.
+        assert issubclass(OversizedBlockError, CorruptBlockError)
+
+    def test_custom_bound_allows_larger_frames(self):
+        data = b"z" * 100
+        frame = encode_block(data, NullCodec()).frame
+        header = decode_header(frame, max_len=200)
+        assert header.uncompressed_len == 100
+        with pytest.raises(OversizedBlockError):
+            decode_header(frame, max_len=50)
+
+    def test_reader_rejects_oversized_header(self):
+        frame = self._frame()
+        frame[12:16] = (0x4000_0000).to_bytes(4, "little")
+        reader = BlockReader(io.BytesIO(bytes(frame)))
+        with pytest.raises(OversizedBlockError):
+            reader.read_block()
 
 
 class TestWriterReader:

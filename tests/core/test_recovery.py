@@ -1,0 +1,219 @@
+"""Tests for ResyncBlockReader and the retry/backoff machinery."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.codecs import (
+    HEADER_SIZE,
+    BlockReader,
+    BlockWriter,
+    CorruptBlockError,
+    LightZlibCodec,
+    NullCodec,
+    TruncatedStreamError,
+    encode_block,
+)
+from repro.core.recovery import ResyncBlockReader, RetryPolicy, retry_call
+from repro.telemetry.events import BUS, BlockSkipped
+
+
+@pytest.fixture(autouse=True)
+def clean_bus():
+    BUS.clear()
+    yield
+    BUS.clear()
+
+
+def make_stream(blocks, codec=None):
+    codec = codec or LightZlibCodec()
+    sink = io.BytesIO()
+    writer = BlockWriter(sink)
+    for block in blocks:
+        writer.write_block(block, codec)
+    return sink.getvalue()
+
+
+BLOCKS = [bytes([65 + i]) * 3000 + b"tail %d" % i for i in range(6)]
+
+
+class TestResyncCleanStream:
+    def test_identical_to_strict_reader(self):
+        wire = make_stream(BLOCKS)
+        strict = list(BlockReader(io.BytesIO(wire)))
+        resync = ResyncBlockReader(io.BytesIO(wire))
+        assert list(resync) == strict == BLOCKS
+        assert resync.blocks_read == len(BLOCKS)
+        assert resync.blocks_skipped == 0
+        assert resync.bytes_skipped == 0
+        assert resync.bytes_in == len(wire)
+        assert resync.bytes_out == sum(len(b) for b in BLOCKS)
+
+    def test_empty_stream(self):
+        reader = ResyncBlockReader(io.BytesIO(b""))
+        assert reader.read_block() is None
+        assert reader.blocks_skipped == 0
+
+    def test_stored_fallback_codec(self):
+        import os
+
+        incompressible = [os.urandom(2000) for _ in range(4)]
+        wire = make_stream(incompressible)
+        assert list(ResyncBlockReader(io.BytesIO(wire))) == incompressible
+
+
+class TestResyncCorruption:
+    def test_payload_bitflip_loses_one_block(self):
+        wire = bytearray(make_stream(BLOCKS))
+        # Flip a byte inside the second frame's payload.
+        frame0 = len(encode_block(BLOCKS[0], LightZlibCodec()).frame)
+        wire[frame0 + HEADER_SIZE + 5] ^= 0xFF
+        got = list(ResyncBlockReader(io.BytesIO(bytes(wire))))
+        assert got == [BLOCKS[0]] + BLOCKS[2:]
+
+    def test_header_magic_corruption(self):
+        wire = bytearray(make_stream(BLOCKS))
+        frame0 = len(encode_block(BLOCKS[0], LightZlibCodec()).frame)
+        wire[frame0] ^= 0xFF  # kill the magic of frame 1
+        reader = ResyncBlockReader(io.BytesIO(bytes(wire)))
+        got = list(reader)
+        assert got == [BLOCKS[0]] + BLOCKS[2:]
+        assert reader.blocks_skipped == 1
+
+    def test_corrupt_length_field_cannot_swallow_next_frames(self):
+        # Set frame 1's compressed_len to a huge-but-in-bound value; the
+        # CRC then fails and resync must still recover frames 2..n
+        # instead of trusting the bogus length.
+        wire = bytearray(make_stream(BLOCKS))
+        frame0 = len(encode_block(BLOCKS[0], LightZlibCodec()).frame)
+        struct.pack_into("<I", wire, frame0 + 12, 900_000)
+        got = list(ResyncBlockReader(io.BytesIO(bytes(wire))))
+        assert got == [BLOCKS[0]] + BLOCKS[2:]
+
+    def test_garbage_prefix_skipped(self):
+        prefix = b"\x00garbage\xffnoise"
+        wire = prefix + make_stream(BLOCKS)
+        reader = ResyncBlockReader(io.BytesIO(wire))
+        assert list(reader) == BLOCKS
+        assert reader.blocks_skipped == 1
+        assert reader.bytes_skipped == len(prefix)
+
+    def test_truncated_tail_counts_skip(self):
+        wire = make_stream(BLOCKS)
+        reader = ResyncBlockReader(io.BytesIO(wire[:-10]))
+        got = list(reader)
+        assert got == BLOCKS[:-1]
+        assert reader.blocks_skipped == 1
+        assert reader.bytes_skipped > 0
+
+    def test_contiguous_damage_counts_one_region(self):
+        wire = bytearray(make_stream(BLOCKS))
+        frame0 = len(encode_block(BLOCKS[0], LightZlibCodec()).frame)
+        frame1 = len(encode_block(BLOCKS[1], LightZlibCodec()).frame)
+        # Destroy frames 1 and 2 entirely (magic bytes included).
+        for off in range(frame0, frame0 + frame1 + HEADER_SIZE, 7):
+            wire[off] ^= 0xA5
+        reader = ResyncBlockReader(io.BytesIO(bytes(wire)))
+        got = list(reader)
+        assert BLOCKS[0] == got[0]
+        assert got[-3:] == BLOCKS[3:]
+        assert reader.blocks_skipped >= 1
+
+    def test_publishes_block_skipped(self):
+        events = []
+        BUS.subscribe(events.append, BlockSkipped)
+        wire = bytearray(make_stream(BLOCKS))
+        frame0 = len(encode_block(BLOCKS[0], LightZlibCodec()).frame)
+        wire[frame0 + HEADER_SIZE + 3] ^= 0x10
+        reader = ResyncBlockReader(io.BytesIO(bytes(wire)))
+        list(reader)
+        assert len(events) == 1
+        assert events[0].total_blocks_skipped == 1
+        assert events[0].bytes_skipped == reader.bytes_skipped
+
+    def test_null_codec_stream_recovers(self):
+        wire = bytearray(make_stream(BLOCKS, codec=NullCodec()))
+        frame0 = HEADER_SIZE + len(BLOCKS[0])
+        wire[frame0 + HEADER_SIZE] ^= 0x40
+        got = list(ResyncBlockReader(io.BytesIO(bytes(wire))))
+        assert got == [BLOCKS[0]] + BLOCKS[2:]
+
+    def test_strict_reader_still_raises(self):
+        wire = bytearray(make_stream(BLOCKS))
+        wire[HEADER_SIZE + 2] ^= 0x01
+        with pytest.raises((CorruptBlockError, TruncatedStreamError)):
+            list(BlockReader(io.BytesIO(bytes(wire))))
+
+
+class TestRetryPolicy:
+    def test_delay_count(self):
+        assert len(list(RetryPolicy(attempts=5).delays())) == 4
+        assert list(RetryPolicy(attempts=1).delays()) == []
+
+    def test_deterministic(self):
+        p = RetryPolicy(attempts=6, base=0.1, seed=9)
+        assert list(p.delays()) == list(p.delays())
+
+    def test_exponential_and_capped(self):
+        delays = list(
+            RetryPolicy(attempts=8, base=0.1, max_delay=0.4, jitter=0.0).delays()
+        )
+        assert delays[:3] == [0.1, 0.2, 0.4]
+        assert all(d == 0.4 for d in delays[2:])
+
+    def test_jitter_bounds(self):
+        for d, nominal in zip(
+            RetryPolicy(attempts=4, base=1.0, max_delay=1.0, jitter=0.2).delays(),
+            [1.0, 1.0, 1.0],
+        ):
+            assert nominal * 0.8 <= d <= nominal * 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestRetryCall:
+    def test_succeeds_after_failures(self):
+        calls = []
+        naps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionRefusedError("not yet")
+            return "ok"
+
+        result = retry_call(
+            flaky, policy=RetryPolicy(attempts=4, seed=1), sleep=naps.append
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert len(naps) == 2
+
+    def test_exhaustion_reraises_last(self):
+        def always_fails():
+            raise ConnectionRefusedError("down")
+
+        with pytest.raises(ConnectionRefusedError):
+            retry_call(
+                always_fails,
+                policy=RetryPolicy(attempts=3),
+                sleep=lambda _: None,
+            )
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            retry_call(boom, policy=RetryPolicy(attempts=5), sleep=lambda _: None)
+        assert len(calls) == 1

@@ -83,6 +83,9 @@ class TestExtensions:
     def test_pipeline(self):
         assert_result_ok(extensions.run_pipeline(scale=SCALE, repeats=1))
 
+    def test_faults(self):
+        assert_result_ok(extensions.run_faults(scale=SCALE))
+
 
 class TestCommon:
     def test_scheme_factories_cover_table2_rows(self):

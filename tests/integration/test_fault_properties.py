@@ -1,0 +1,126 @@
+"""Property tests for the single-fault robustness contract.
+
+ISSUE 4's invariant: for any single injected bit-flip or truncation in
+a multi-block stream, decoding either fails with a typed codec error
+(strict mode) or loses at most the damaged block(s) (resync mode) —
+never a wrong-bytes success and never a hang.  Bit flips in the
+header's don't-care bytes (flags, reserved padding) are allowed to
+decode cleanly because the CRC deliberately covers only the payload.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.codecs import (
+    BlockReader,
+    BlockWriter,
+    CodecError,
+    LightZlibCodec,
+    encode_block,
+)
+from repro.core.recovery import ResyncBlockReader
+from repro.io.faults import BitFlip, FaultPlan, FaultyReader, Truncate
+
+CODEC = LightZlibCodec()
+
+#: Five unique blocks: compressible but distinct, so any decoded block
+#: maps back to exactly one original index.
+BLOCKS = [
+    (b"block-%02d " % i) * 220 + bytes([i]) * 64 for i in range(5)
+]
+
+
+def _wire() -> bytes:
+    sink = io.BytesIO()
+    writer = BlockWriter(sink)
+    for block in BLOCKS:
+        writer.write_block(block, CODEC)
+    return sink.getvalue()
+
+
+WIRE = _wire()
+FRAME_LENS = [len(encode_block(b, CODEC).frame) for b in BLOCKS]
+
+
+def _block_indices(decoded):
+    """Map decoded blocks to original indices; fail on unknown bytes."""
+    indices = []
+    for block in decoded:
+        assert block in BLOCKS, "decoder produced bytes that were never sent"
+        indices.append(BLOCKS.index(block))
+    return indices
+
+
+class TestSingleBitFlip:
+    @given(
+        offset=st.integers(min_value=0, max_value=len(WIRE) - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_strict_errors_or_exact_bytes(self, offset, bit):
+        plan = FaultPlan([BitFlip(offset, mask=1 << bit)])
+        reader = BlockReader(FaultyReader(io.BytesIO(WIRE), plan))
+        try:
+            decoded = list(reader)
+        except CodecError:
+            return  # detected — the acceptable strict-mode outcome
+        # Undetected flips may only live in CRC-exempt header bytes;
+        # the application bytes must still be exactly right.
+        assert decoded == BLOCKS
+
+    @given(
+        offset=st.integers(min_value=0, max_value=len(WIRE) - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_resync_loses_at_most_one_block(self, offset, bit):
+        plan = FaultPlan([BitFlip(offset, mask=1 << bit)])
+        reader = ResyncBlockReader(FaultyReader(io.BytesIO(WIRE), plan))
+        decoded = list(reader)  # must never raise
+        indices = _block_indices(decoded)
+        assert indices == sorted(set(indices)), "order or uniqueness broken"
+        lost = len(BLOCKS) - len(decoded)
+        assert lost <= 1
+        assert reader.blocks_skipped == lost
+        if lost == 0:
+            assert reader.bytes_skipped == 0
+
+
+class TestSingleTruncation:
+    @given(cut=st.integers(min_value=0, max_value=len(WIRE) - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_strict_errors_or_clean_prefix(self, cut):
+        plan = FaultPlan([Truncate(cut)])
+        reader = BlockReader(FaultyReader(io.BytesIO(WIRE), plan))
+        try:
+            decoded = list(reader)
+        except CodecError:
+            return
+        # A cut landing exactly on a frame boundary reads as clean EOF:
+        # the decoded stream must then be an exact prefix.
+        assert decoded == BLOCKS[: len(decoded)]
+        assert sum(FRAME_LENS[: len(decoded)]) == cut
+
+    @given(cut=st.integers(min_value=0, max_value=len(WIRE) - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_resync_keeps_exactly_the_intact_prefix(self, cut):
+        plan = FaultPlan([Truncate(cut)])
+        reader = ResyncBlockReader(FaultyReader(io.BytesIO(WIRE), plan))
+        decoded = list(reader)  # must never raise
+        # Frames wholly before the cut survive; everything else is gone.
+        intact = 0
+        consumed = 0
+        for length in FRAME_LENS:
+            if consumed + length <= cut:
+                intact += 1
+                consumed += length
+            else:
+                break
+        assert decoded == BLOCKS[:intact]
+        assert reader.bytes_skipped == cut - consumed

@@ -127,6 +127,67 @@ class TestBoundedPipe:
         assert pipe.read(-1) == b"everything"
 
 
+class TestCloseRead:
+    def test_write_after_close_read_rejected(self):
+        pipe = BoundedPipe()
+        pipe.close_read()
+        with pytest.raises(PipeClosedError):
+            pipe.write(b"x")
+
+    def test_close_read_discards_buffer(self):
+        pipe = BoundedPipe()
+        pipe.write(b"pending data")
+        pipe.close_read()
+        assert pipe.buffered == 0
+        assert pipe.read(100) == b""
+
+    def test_close_read_unblocks_full_pipe_writer(self):
+        """The in-process analogue of a connection reset: a producer
+        blocked on a full pipe must wake with PipeClosedError, not
+        hang, when the consumer abandons the read side."""
+        pipe = BoundedPipe(capacity=4)
+        pipe.write(b"full")
+        outcome = {}
+
+        def writer():
+            try:
+                pipe.write(b"more")
+                outcome["result"] = "wrote"
+            except PipeClosedError:
+                outcome["result"] = "closed"
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        t.join(0.05)
+        assert t.is_alive()  # blocked on the full buffer
+        pipe.close_read()
+        t.join(5.0)
+        assert not t.is_alive()
+        assert outcome["result"] == "closed"
+
+    def test_close_read_unblocks_blocked_reader(self):
+        pipe = BoundedPipe()
+        result = {}
+
+        def reader():
+            result["data"] = pipe.read(3)
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        t.join(0.05)
+        assert t.is_alive()
+        pipe.close_read()
+        t.join(5.0)
+        assert not t.is_alive()
+        assert result["data"] == b""
+
+    def test_readinto_after_close_read(self):
+        pipe = BoundedPipe()
+        pipe.write(b"abc")
+        pipe.close_read()
+        assert pipe.readinto(bytearray(8)) == 0
+
+
 class TestThrottledPipe:
     def test_reads_paced_by_bucket(self):
         class FT:
