@@ -1,0 +1,249 @@
+"""Throughput matrix for the parallel receive-path decode pipeline.
+
+Standalone companion to ``bench_pipeline.py`` for the other direction:
+it pre-encodes one framed stream per (compressibility class, level)
+cell, then times the serial :class:`~repro.codecs.block.BlockReader`
+against :class:`~repro.core.pipeline.ParallelBlockDecoder` at 1/2/4/8
+workers, writes the matrix to ``BENCH_decode.json``, and — in
+``--quick`` mode — enforces the CI regression gate.
+
+The gate is core-aware, mirroring the encode benchmark:
+
+* Any box: the pipeline at **1 worker** must keep >= 95 % of serial
+  decode throughput (the fetch/queue/reassemble machinery may cost at
+  most 5 %).
+* >= 2 usable cores: 4-worker MEDIUM decode on compressible data must
+  not fall below serial.
+* >= 4 usable cores and not ``--quick``: additionally assert the
+  headline >= 1.8x speedup at 4 workers for the CPU-bound levels
+  (MEDIUM/HEAVY) on HIGH/MODERATE data.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_decode.py [--quick]
+        [--mib 16] [--repeats 3] [--out BENCH_decode.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import platform
+import sys
+import time
+
+from repro.codecs.block import BlockReader, BlockWriter
+from repro.codecs.bz2_codec import Bz2Codec
+from repro.codecs.lzma_codec import LzmaCodec
+from repro.codecs.null_codec import NullCodec
+from repro.codecs.zlib_codec import LightZlibCodec
+from repro.core.buffers import BufferPool
+from repro.core.pipeline import ParallelBlockDecoder
+from repro.data.corpus import Compressibility, generate
+
+from bench_pipeline import core_info, usable_cores
+
+BLOCK_SIZE = 128 * 1024
+
+LEVELS = (
+    ("NO", NullCodec),
+    ("LIGHT", LightZlibCodec),
+    ("MEDIUM", Bz2Codec),
+    ("HEAVY", lambda: LzmaCodec(preset=4)),
+)
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def encode_stream(data: bytes, codec) -> bytes:
+    """Frame ``data`` into one serial block stream."""
+    sink = io.BytesIO()
+    writer = BlockWriter(sink)
+    with memoryview(data) as view:
+        for offset in range(0, len(data), BLOCK_SIZE):
+            writer.write_block(view[offset : offset + BLOCK_SIZE], codec)
+    return sink.getvalue()
+
+
+def one_pass(stream: bytes, workers: int) -> tuple[float, int]:
+    """Decode ``stream`` once; (seconds, plaintext bytes).
+
+    ``workers=0`` selects the serial :class:`BlockReader` baseline;
+    any other count runs the :class:`ParallelBlockDecoder` so the
+    1-worker cell measures the pipeline machinery's own overhead.
+    """
+    source = io.BytesIO(stream)
+    pool = BufferPool()
+    if workers == 0:
+        decoder = BlockReader(source, pool=pool)
+    else:
+        decoder = ParallelBlockDecoder(source, workers=workers, pool=pool)
+    out = 0
+    t0 = time.perf_counter()
+    for block in decoder:
+        out += len(block)
+    elapsed = time.perf_counter() - t0
+    decoder.close()
+    return elapsed, out
+
+
+def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
+    """Best-of-``repeats`` seconds for every matrix cell."""
+    total = mib * 2**20
+    results = []
+    for cls in classes:
+        data = generate(cls, total, seed=11)
+        for level_name, codec_factory in levels:
+            codec = codec_factory()
+            stream = encode_stream(data, codec)
+            serial_s, out = min(
+                (one_pass(stream, 0) for _ in range(repeats)),
+                key=lambda pair: pair[0],
+            )
+            assert out == total, "serial decode lost bytes"
+            base = {
+                "class": cls.value,
+                "level": level_name,
+                "codec": codec.name,
+                "wire_mib": round(len(stream) / 2**20, 2),
+            }
+            results.append(
+                {
+                    **base,
+                    "workers": 0,
+                    "seconds": round(serial_s, 4),
+                    "mb_per_s": round(total / serial_s / 1e6, 2),
+                    "speedup_vs_serial": 1.0,
+                }
+            )
+            print(
+                f"  {cls.value:8s} {level_name:6s} serial     "
+                f"{total / serial_s / 1e6:8.1f} MB/s",
+                flush=True,
+            )
+            for workers in worker_counts:
+                best_s, out = min(
+                    (one_pass(stream, workers) for _ in range(repeats)),
+                    key=lambda pair: pair[0],
+                )
+                assert out == total, f"parallel decode lost bytes at {workers}"
+                cell = {
+                    **base,
+                    "workers": workers,
+                    "seconds": round(best_s, 4),
+                    "mb_per_s": round(total / best_s / 1e6, 2),
+                    "speedup_vs_serial": round(serial_s / best_s, 3),
+                }
+                results.append(cell)
+                print(
+                    f"  {cls.value:8s} {level_name:6s} workers={workers}  "
+                    f"{cell['mb_per_s']:8.1f} MB/s  "
+                    f"speedup {cell['speedup_vs_serial']:.2f}x",
+                    flush=True,
+                )
+    return {
+        "meta": {
+            "block_size": BLOCK_SIZE,
+            "payload_mib": mib,
+            "repeats": repeats,
+            **core_info(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": results,
+    }
+
+
+def _cell(payload: dict, cls: str, level: str, workers: int) -> dict:
+    for cell in payload["results"]:
+        if (
+            cell["class"] == cls
+            and cell["level"] == level
+            and cell["workers"] == workers
+        ):
+            return cell
+    raise KeyError(f"no cell for {cls}/{level}/workers={workers}")
+
+
+def check_gate(payload: dict, *, quick: bool) -> list[str]:
+    """Return failure messages (empty = gate passed)."""
+    cores = payload["meta"]["usable_cores"]
+    failures = []
+    for cls in ("HIGH", "MODERATE"):
+        for level in ("MEDIUM", "HEAVY"):
+            try:
+                one = _cell(payload, cls, level, 1)
+            except KeyError:
+                continue
+            # Overhead floor holds on any box, 1 core included: at one
+            # worker nothing overlaps, so this isolates the pipeline
+            # machinery's own cost.
+            if one["speedup_vs_serial"] < 0.95:
+                failures.append(
+                    f"{cls}/{level}: 1-worker pipeline overhead above 5% "
+                    f"({one['speedup_vs_serial']:.3f}x of serial)"
+                )
+            try:
+                four = _cell(payload, cls, level, 4)
+            except KeyError:
+                continue
+            speedup = four["speedup_vs_serial"]
+            if cores >= 2 and speedup < 1.0:
+                failures.append(
+                    f"{cls}/{level}: 4 workers below serial ({speedup:.2f}x) "
+                    f"with {cores} cores available"
+                )
+            if not quick and cores >= 4 and speedup < 1.8:
+                failures.append(
+                    f"{cls}/{level}: expected >=1.8x at 4 workers with "
+                    f"{cores} cores, got {speedup:.2f}x"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small payload, MEDIUM level only, gate enforced",
+    )
+    parser.add_argument("--mib", type=int, default=None, help="payload MiB per class")
+    parser.add_argument("--repeats", type=int, default=None, help="passes per cell")
+    parser.add_argument("--out", default="BENCH_decode.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        mib = args.mib or 4
+        repeats = args.repeats or 3
+        worker_counts = (1, 4)
+        levels = [lv for lv in LEVELS if lv[0] == "MEDIUM"]
+        classes = (Compressibility.HIGH, Compressibility.MODERATE)
+    else:
+        mib = args.mib or 16
+        repeats = args.repeats or 3
+        worker_counts = WORKER_COUNTS
+        levels = LEVELS
+        classes = tuple(Compressibility)
+
+    print(
+        f"decode benchmark: {mib} MiB/class, repeats={repeats}, "
+        f"usable cores={usable_cores()}",
+        flush=True,
+    )
+    payload = run_matrix(mib, repeats, worker_counts, levels, classes)
+    with open(args.out, "w") as fp:
+        json.dump(payload, fp, indent=2)
+    print(f"matrix written to {args.out}")
+
+    failures = check_gate(payload, quick=args.quick)
+    for failure in failures:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

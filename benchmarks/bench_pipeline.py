@@ -66,11 +66,32 @@ class NullSink:
         return n
 
 
+def core_info() -> dict:
+    """Affinity-aware core detection, with the raw inputs preserved.
+
+    ``sched_getaffinity`` is the truth when it works (it sees cgroup
+    pinning), but it is missing on some platforms and can fail inside
+    exotic sandboxes — fall back to ``os.cpu_count()`` then, and record
+    *both* numbers so a benchmark artifact can always be audited for
+    which one drove the gate.
+    """
+    affinity = None
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            affinity = len(os.sched_getaffinity(0))
+        except OSError:
+            affinity = None
+    cpu_count = os.cpu_count() or 1
+    return {
+        "affinity_cores": affinity,
+        "cpu_count": cpu_count,
+        "usable_cores": affinity if affinity is not None else cpu_count,
+    }
+
+
 def usable_cores() -> int:
     """Cores this process may actually run on (affinity-aware)."""
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
+    return core_info()["usable_cores"]
 
 
 def one_pass(data: bytes, workers: int, codec) -> tuple[float, int]:
@@ -127,7 +148,7 @@ def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
             "block_size": BLOCK_SIZE,
             "payload_mib": mib,
             "repeats": repeats,
-            "usable_cores": usable_cores(),
+            **core_info(),
             "python": platform.python_version(),
             "platform": platform.platform(),
         },

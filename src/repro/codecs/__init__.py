@@ -14,10 +14,13 @@ from .block import (
     BlockReader,
     BlockWriter,
     EncodedBlock,
+    EncodedParts,
     decode_block,
     decode_header,
     decode_payload,
     encode_block,
+    encode_block_parts,
+    verify_crc,
 )
 from .bz2_codec import Bz2Codec
 from .errors import (
@@ -57,10 +60,13 @@ __all__ = [
     "BlockReader",
     "BlockWriter",
     "EncodedBlock",
+    "EncodedParts",
     "encode_block",
+    "encode_block_parts",
     "decode_block",
     "decode_header",
     "decode_payload",
+    "verify_crc",
     "BlockData",
     "DEFAULT_BLOCK_SIZE",
     "HEADER_SIZE",

@@ -85,11 +85,16 @@ class EncodedBlock:
 
     ``frame`` is a bytes-like object (a ``bytearray`` on the hot path —
     assembled in a single preallocated buffer, never re-copied into an
-    immutable ``bytes``); treat it as read-only.
+    immutable ``bytes`` — or a ``memoryview`` of a pool slab when the
+    encoder runs with a :class:`~repro.core.buffers.BufferPool`); treat
+    it as read-only.  Pool-backed frames must be :meth:`release`\\ d
+    once written; ``release`` is a safe no-op for plain frames.
     """
 
-    frame: Union[bytes, bytearray]
+    frame: Union[bytes, bytearray, memoryview]
     header: BlockHeader
+    #: Pool buffer backing ``frame`` (None for plain allocations).
+    buf: Optional[object] = None
 
     @property
     def frame_len(self) -> int:
@@ -102,25 +107,44 @@ class EncodedBlock:
             return 1.0
         return self.header.compressed_len / self.header.uncompressed_len
 
+    def release(self) -> None:
+        """Return a pool-backed frame buffer to its pool.  Idempotent."""
+        if self.buf is not None:
+            self.buf.release()
 
-def encode_block(
-    data: BlockData, codec: Codec, *, allow_stored_fallback: bool = True
-) -> EncodedBlock:
-    """Compress ``data`` with ``codec`` and wrap it in a frame.
 
-    ``data`` may be ``bytes``, a ``bytearray`` or a C-contiguous
-    ``memoryview`` — the stream layer passes zero-copy views of its
-    write buffer.  The frame is assembled in one preallocated buffer
-    (header packed in place with ``pack_into``, payload copied in
-    exactly once); the input is never copied to an intermediate object,
-    so a ``memoryview`` input costs a single payload copy total.
+@dataclass(frozen=True)
+class EncodedParts:
+    """A framed block kept as (header bytes, payload) — never assembled.
 
-    If the codec expands the data and ``allow_stored_fallback`` is set,
-    the block is stored raw (codec id 0) with ``FLAG_STORED_FALLBACK``
-    so that incompressible data never costs more than the 20-byte
-    header.  The stored fallback borrows the input buffer directly — no
-    defensive copy is taken.
+    The vectored-I/O counterpart of :class:`EncodedBlock`: a sink with
+    ``writev`` (e.g. :class:`~repro.io.sockets.VectoredSocketWriter`)
+    puts both parts on the wire in one ``sendmsg`` call, so the payload
+    is never copied into a contiguous frame at all.  Concatenating
+    ``header_bytes + payload`` yields exactly the bytes of the
+    corresponding :class:`EncodedBlock.frame`.
     """
+
+    header: BlockHeader
+    header_bytes: bytes
+    payload: BlockData
+
+    @property
+    def frame_len(self) -> int:
+        return HEADER_SIZE + self.header.compressed_len
+
+    @property
+    def ratio(self) -> float:
+        """Compressed/uncompressed size ratio (1.0 == incompressible)."""
+        if self.header.uncompressed_len == 0:
+            return 1.0
+        return self.header.compressed_len / self.header.uncompressed_len
+
+
+def _compress_payload(
+    data: BlockData, codec: Codec, allow_stored_fallback: bool
+) -> tuple:
+    """Shared compress + stored-fallback step: (header, payload)."""
     data_len = _nbytes(data)
     if BUS.active:
         t0 = BUS.now()
@@ -143,15 +167,49 @@ def encode_block(
         payload = data
         codec_id = 0
         flags |= FLAG_STORED_FALLBACK
-    payload_len = _nbytes(payload)
     header = BlockHeader(
         codec_id=codec_id,
         flags=flags,
         uncompressed_len=data_len,
-        compressed_len=payload_len,
+        compressed_len=_nbytes(payload),
         crc32=zlib.crc32(payload) & 0xFFFFFFFF,
     )
-    frame = bytearray(HEADER_SIZE + payload_len)
+    return header, payload
+
+
+def encode_block(
+    data: BlockData,
+    codec: Codec,
+    *,
+    allow_stored_fallback: bool = True,
+    pool: Optional[object] = None,
+) -> EncodedBlock:
+    """Compress ``data`` with ``codec`` and wrap it in a frame.
+
+    ``data`` may be ``bytes``, a ``bytearray`` or a C-contiguous
+    ``memoryview`` — the stream layer passes zero-copy views of its
+    write buffer.  The frame is assembled in one preallocated buffer
+    (header packed in place with ``pack_into``, payload copied in
+    exactly once); the input is never copied to an intermediate object,
+    so a ``memoryview`` input costs a single payload copy total.
+    ``pool`` (a :class:`~repro.core.buffers.BufferPool`) reuses frame
+    buffers across blocks instead of allocating one per call; the
+    caller must then ``release()`` the block after writing it.
+
+    If the codec expands the data and ``allow_stored_fallback`` is set,
+    the block is stored raw (codec id 0) with ``FLAG_STORED_FALLBACK``
+    so that incompressible data never costs more than the 20-byte
+    header.  The stored fallback borrows the input buffer directly — no
+    defensive copy is taken.
+    """
+    header, payload = _compress_payload(data, codec, allow_stored_fallback)
+    payload_len = header.compressed_len
+    buf = None
+    if pool is not None:
+        buf = pool.acquire(HEADER_SIZE + payload_len)
+        frame = buf.view
+    else:
+        frame = bytearray(HEADER_SIZE + payload_len)
     HEADER.pack_into(
         frame,
         0,
@@ -164,7 +222,32 @@ def encode_block(
         header.crc32,
     )
     frame[HEADER_SIZE:] = payload
-    return EncodedBlock(frame=frame, header=header)
+    return EncodedBlock(frame=frame, header=header, buf=buf)
+
+
+def encode_block_parts(
+    data: BlockData, codec: Codec, *, allow_stored_fallback: bool = True
+) -> EncodedParts:
+    """Compress ``data`` but keep header and payload as separate parts.
+
+    Same compression, fallback and CRC semantics as
+    :func:`encode_block`; the only difference is that no contiguous
+    frame is assembled, so the payload is **zero-copy** end to end when
+    the sink supports vectored writes (``header_bytes`` and the payload
+    go out in one ``sendmsg``).  Wire bytes are identical to the
+    assembled frame.
+    """
+    header, payload = _compress_payload(data, codec, allow_stored_fallback)
+    header_bytes = HEADER.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        header.codec_id,
+        header.flags,
+        header.uncompressed_len,
+        header.compressed_len,
+        header.crc32,
+    )
+    return EncodedParts(header=header, header_bytes=header_bytes, payload=payload)
 
 
 def decode_header(raw: BlockData, *, max_len: Optional[int] = None) -> BlockHeader:
@@ -201,21 +284,57 @@ def decode_header(raw: BlockData, *, max_len: Optional[int] = None) -> BlockHead
     )
 
 
+def verify_crc(header: BlockHeader, payload: BlockData) -> bool:
+    """Does ``payload`` match the header's CRC32?
+
+    Exposed so frame fetchers (resync scanning, the parallel decode
+    pipeline) can validate payload integrity up front and let
+    :func:`decode_payload` skip the re-check (``check_crc=False``).
+    """
+    return (zlib.crc32(payload) & 0xFFFFFFFF) == header.crc32
+
+
 def decode_payload(
     header: BlockHeader,
     payload: BlockData,
     registry: CodecRegistry = DEFAULT_REGISTRY,
+    *,
+    check_crc: bool = True,
 ) -> bytes:
     """CRC-check and decompress one frame's payload.
 
     The payload may be any byte buffer (``BlockReader`` passes its
     preallocated read buffer directly); it is handed to the codec
-    without copying.
+    without copying.  ``check_crc=False`` skips the CRC pass for
+    callers that already ran :func:`verify_crc` on this payload (the
+    parallel decode pipeline's fetcher does, so its workers don't pay
+    the checksum twice).
+
+    Codec id 0 is the wire format's identity transform (the NO level
+    and the stored fallback both use it), so stored payloads bypass the
+    codec dispatch: the payload bytes are materialised **exactly once**
+    — and not at all when the caller already holds immutable ``bytes``.
     """
-    if (zlib.crc32(payload) & 0xFFFFFFFF) != header.crc32:
+    if check_crc and not verify_crc(header, payload):
         raise CorruptBlockError("payload CRC mismatch")
-    codec = registry.get(header.codec_id)
-    if BUS.active:
+    if header.codec_id == 0:
+        # Identity by wire-format contract: FLAG_STORED_FALLBACK frames
+        # are written raw under codec id 0, so no registry lookup and no
+        # slice-then-copy — one bytes() materialisation at most.
+        data = payload if isinstance(payload, bytes) else bytes(payload)
+        if BUS.active:
+            BUS.publish(
+                BlockCompressed(
+                    ts=BUS.now(),
+                    codec=registry.get(0).name,
+                    direction="decompress",
+                    uncompressed_bytes=len(data),
+                    compressed_bytes=_nbytes(payload),
+                    seconds=0.0,
+                )
+            )
+    elif BUS.active:
+        codec = registry.get(header.codec_id)
         t0 = BUS.now()
         data = codec.decompress(payload)
         BUS.publish(
@@ -229,7 +348,7 @@ def decode_payload(
             )
         )
     else:
-        data = codec.decompress(payload)
+        data = registry.get(header.codec_id).decompress(payload)
     if len(data) != header.uncompressed_len:
         raise CorruptBlockError(
             f"decompressed length {len(data)} != header claim "
@@ -258,21 +377,34 @@ class BlockWriter:
     """Write framed blocks to a binary file-like object.
 
     The codec may change between blocks — this is exactly how the
-    adaptive scheme switches compression levels mid-stream.
+    adaptive scheme switches compression levels mid-stream.  A sink
+    exposing ``writev(parts)`` (vectored writes, e.g.
+    :class:`~repro.io.sockets.VectoredSocketWriter`) receives each
+    frame as separate header/payload parts — same wire bytes, one
+    payload copy fewer.
     """
 
     def __init__(self, sink: BinaryIO, *, allow_stored_fallback: bool = True) -> None:
         self._sink = sink
         self._allow_stored_fallback = allow_stored_fallback
+        self._writev = getattr(sink, "writev", None)
         self.blocks_written = 0
         self.bytes_in = 0
         self.bytes_out = 0
 
-    def write_block(self, data: BlockData, codec: Codec) -> EncodedBlock:
-        block = encode_block(
-            data, codec, allow_stored_fallback=self._allow_stored_fallback
-        )
-        self._sink.write(block.frame)
+    def write_block(
+        self, data: BlockData, codec: Codec
+    ) -> Union[EncodedBlock, EncodedParts]:
+        if self._writev is not None:
+            block = encode_block_parts(
+                data, codec, allow_stored_fallback=self._allow_stored_fallback
+            )
+            self._writev((block.header_bytes, block.payload))
+        else:
+            block = encode_block(
+                data, codec, allow_stored_fallback=self._allow_stored_fallback
+            )
+            self._sink.write(block.frame)
         self.blocks_written += 1
         self.bytes_in += block.header.uncompressed_len
         self.bytes_out += block.frame_len
@@ -302,7 +434,11 @@ class BlockReader:
 
     Handles short reads (sockets) by looping until a full frame is
     available; distinguishes clean EOF (between frames) from truncation
-    (mid-frame).
+    (mid-frame).  With a ``pool``
+    (:class:`~repro.core.buffers.BufferPool`) the header lands in one
+    persistent buffer and each payload in a reused pool slab, so steady
+    -state decoding performs **zero per-block allocations** besides the
+    decompressed output itself.
     """
 
     def __init__(
@@ -311,61 +447,116 @@ class BlockReader:
         registry: CodecRegistry = DEFAULT_REGISTRY,
         *,
         max_block_len: Optional[int] = None,
+        pool: Optional[object] = None,
     ) -> None:
         self._source = source
         self._registry = registry
         self._max_block_len = max_block_len
+        self._pool = pool
         # Prefer scatter reads straight into our buffer; fall back to
         # read() for minimal sources (e.g. BoundedPipe-like objects).
         self._readinto = getattr(source, "readinto", None)
+        self._header_buf = bytearray(HEADER_SIZE)
+        self._header_view = memoryview(self._header_buf)
         self.blocks_read = 0
         self.bytes_in = 0
         self.bytes_out = 0
 
-    def _read_exact(self, n: int, *, allow_eof: bool) -> Optional[bytearray]:
-        """Read exactly ``n`` bytes into one preallocated buffer.
+    def _readinto_exact(self, view: memoryview, *, allow_eof: bool) -> bool:
+        """Fill ``view`` completely from the source.
 
-        Returns ``None`` only when ``allow_eof`` is set and the stream
+        Returns ``False`` only when ``allow_eof`` is set and the stream
         ends *before the first byte* (clean EOF between frames); a
         stream that ends mid-read raises :class:`TruncatedStreamError`.
         """
-        buf = bytearray(n)
+        n = view.nbytes
         pos = 0
         if self._readinto is not None:
-            with memoryview(buf) as view:
-                while pos < n:
-                    got = self._readinto(view[pos:])
-                    if not got:
-                        break
-                    pos += got
+            while pos < n:
+                got = self._readinto(view[pos:])
+                if not got:
+                    break
+                pos += got
         else:
             while pos < n:
                 chunk = self._source.read(n - pos)
                 if not chunk:
                     break
-                buf[pos : pos + len(chunk)] = chunk
+                view[pos : pos + len(chunk)] = chunk
                 pos += len(chunk)
         if pos < n:
             if pos == 0 and allow_eof:
-                return None
+                return False
             raise TruncatedStreamError(
                 f"stream ended with {n - pos} of {n} bytes outstanding"
             )
+        return True
+
+    def _read_exact(self, n: int, *, allow_eof: bool) -> Optional[bytearray]:
+        """Read exactly ``n`` bytes into one freshly allocated buffer."""
+        buf = bytearray(n)
+        with memoryview(buf) as view:
+            if not self._readinto_exact(view, allow_eof=allow_eof):
+                return None
         return buf
+
+    def read_frame(self) -> Optional[tuple]:
+        """Fetch the next raw ``(header, payload buffer)`` pair.
+
+        ``None`` at clean EOF.  The payload is a
+        :class:`~repro.core.buffers.PooledBuffer` when the reader has a
+        pool (the caller must ``release()`` it) or a ``bytearray``
+        otherwise.  The CRC is **verified here**, so downstream decoders
+        can pass ``check_crc=False``.  This is the fetch half of
+        :meth:`read_block`, exposed for the parallel decode pipeline's
+        read-ahead fetcher.
+        """
+        if not self._readinto_exact(self._header_view, allow_eof=True):
+            return None
+        header = decode_header(self._header_buf, max_len=self._max_block_len)
+        if self._pool is not None:
+            payload = self._pool.acquire(header.compressed_len)
+            try:
+                self._readinto_exact(payload.view, allow_eof=False)
+                if not verify_crc(header, payload.view):
+                    raise CorruptBlockError("payload CRC mismatch")
+            except BaseException:
+                payload.release()
+                raise
+        else:
+            payload = self._read_exact(header.compressed_len, allow_eof=False)
+            assert payload is not None
+            if not verify_crc(header, payload):
+                raise CorruptBlockError("payload CRC mismatch")
+        self.bytes_in += HEADER_SIZE + header.compressed_len
+        return header, payload
 
     def read_block(self) -> Optional[bytes]:
         """Return the next decoded block, or ``None`` at clean EOF."""
-        raw_header = self._read_exact(HEADER_SIZE, allow_eof=True)
-        if raw_header is None:
+        frame = self.read_frame()
+        if frame is None:
             return None
-        header = decode_header(raw_header, max_len=self._max_block_len)
-        payload = self._read_exact(header.compressed_len, allow_eof=False)
-        assert payload is not None
-        data = decode_payload(header, payload, self._registry)
+        header, payload = frame
+        if self._pool is not None:
+            try:
+                data = decode_payload(
+                    header, payload.view, self._registry, check_crc=False
+                )
+            finally:
+                payload.release()
+        else:
+            data = decode_payload(header, payload, self._registry, check_crc=False)
         self.blocks_read += 1
-        self.bytes_in += HEADER_SIZE + header.compressed_len
         self.bytes_out += len(data)
         return data
+
+    def close(self) -> None:
+        """No-op: present so serial and parallel decoders share one
+        interface (the :class:`~repro.core.pipeline.ParallelBlockDecoder`
+        stops its threads here).  The source is left to the caller."""
+
+    def abort(self) -> None:
+        """No-op counterpart of the parallel decoder's error teardown."""
 
     def __iter__(self) -> Iterator[bytes]:
         while True:

@@ -21,9 +21,15 @@ from .levels import (
     CompressionLevelTable,
     default_level_table,
 )
-from .pipeline import ParallelBlockEncoder, make_block_encoder
+from .buffers import DEFAULT_SLAB_SIZE, BufferPool, PooledBuffer
+from .pipeline import (
+    ParallelBlockDecoder,
+    ParallelBlockEncoder,
+    make_block_decoder,
+    make_block_encoder,
+)
 from .rate import EpochSample, RateMeter, RateWindow
-from .recovery import ResyncBlockReader, RetryPolicy, retry_call
+from .recovery import ResyncBlockReader, ResyncFrameScanner, RetryPolicy, retry_call
 from .stream import AdaptiveBlockWriter, StaticBlockWriter
 
 __all__ = [
@@ -46,8 +52,14 @@ __all__ = [
     "AdaptiveBlockWriter",
     "StaticBlockWriter",
     "ParallelBlockEncoder",
+    "ParallelBlockDecoder",
     "make_block_encoder",
+    "make_block_decoder",
+    "BufferPool",
+    "PooledBuffer",
+    "DEFAULT_SLAB_SIZE",
     "ResyncBlockReader",
+    "ResyncFrameScanner",
     "RetryPolicy",
     "retry_call",
 ]

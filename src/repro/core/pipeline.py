@@ -27,24 +27,71 @@ sequence.  Design points:
 * **Clean shutdown.**  ``close`` drains all in-flight blocks, then
   stops and joins every worker.  It is idempotent.
 
+:class:`ParallelBlockDecoder` is the receive-side mirror: a read-ahead
+**fetcher thread** pulls framed blocks off the source doing only the
+cheap, inherently serial work (header parse + CRC), fans the payloads to
+N decompress workers, and ``read_block`` reassembles plaintext strictly
+in order — byte-identical to the serial
+:class:`~repro.codecs.block.BlockReader`.  The same bounded-window,
+error-latching and shutdown rules apply, mirrored for the read
+direction:
+
+* **Bounded read-ahead window.**  The fetcher stops at most
+  ``max_in_flight`` frames ahead of the consumer, so a slow consumer
+  back-pressures the fetcher and memory stays bounded.
+* **Single consumer.**  ``read_block``/``close``/``abort`` must be
+  called from one thread; only the fetcher touches the source.
+* **Errors surface at the call site.**  A fetcher or worker exception
+  is latched; ``read_block`` first drains every block *before* the
+  failed one (exactly the prefix the serial reader would have
+  returned), then re-raises.
+* **Resync composition.**  With ``resync=True`` the fetcher runs the
+  :class:`~repro.core.recovery.ResyncFrameScanner`, so workers never
+  see damaged frames: corruption is skipped and counted during the
+  fetch, and decoding continues.
+
+Both pipelines accept a :class:`~repro.core.buffers.BufferPool` to
+recycle frame/payload buffers instead of allocating per block.
+
 Telemetry keeps PR 1's zero-cost-when-idle property: queue-depth gauges
-(:class:`~repro.telemetry.events.PipelineQueueDepth`) and per-worker
-compress spans (``pipeline.compress``) are only constructed when a bus
-subscriber is attached.
+(:class:`~repro.telemetry.events.PipelineQueueDepth`), per-worker
+compress/decompress spans (``pipeline.compress`` /
+``pipeline.decompress``) and the close-time pool snapshot
+(:class:`~repro.telemetry.events.BufferPoolStats`) are only constructed
+when a bus subscriber is attached.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import BinaryIO, List, Optional, Union
+from typing import BinaryIO, Iterator, List, Optional, Union
 
 from ..codecs.base import Codec
-from ..codecs.block import BlockData, BlockWriter, EncodedBlock, encode_block
-from ..telemetry.events import BUS, PipelineQueueDepth
+from ..codecs.block import (
+    HEADER_SIZE,
+    BlockData,
+    BlockReader,
+    BlockWriter,
+    EncodedBlock,
+    decode_payload,
+    encode_block,
+    encode_block_parts,
+)
+from ..codecs.errors import CodecError
+from ..codecs.registry import DEFAULT_REGISTRY, CodecRegistry
+from .buffers import BufferPool
+from .recovery import ResyncBlockReader, ResyncFrameScanner
+from ..telemetry.events import BUS, BufferPoolStats, PipelineQueueDepth
 from ..telemetry.spans import span
 
-__all__ = ["ParallelBlockEncoder", "make_block_encoder", "DEFAULT_MAX_IN_FLIGHT_PER_WORKER"]
+__all__ = [
+    "ParallelBlockEncoder",
+    "ParallelBlockDecoder",
+    "make_block_encoder",
+    "make_block_decoder",
+    "DEFAULT_MAX_IN_FLIGHT_PER_WORKER",
+]
 
 #: Submission-window depth per worker: enough to keep every worker busy
 #: while the producer refills, small enough to bound frame memory.
@@ -73,6 +120,7 @@ class ParallelBlockEncoder:
         max_in_flight: Optional[int] = None,
         allow_stored_fallback: bool = True,
         source: str = "pipeline",
+        pool: Optional[BufferPool] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -81,6 +129,11 @@ class ParallelBlockEncoder:
         if max_in_flight < workers:
             raise ValueError("max_in_flight must be >= workers")
         self._sink = sink
+        # Vectored sinks take (header, payload) parts and the frame is
+        # never assembled; otherwise frames go out contiguous, carved
+        # from the pool when one is provided.
+        self._sink_writev = getattr(sink, "writev", None)
+        self._pool = pool if self._sink_writev is None else None
         self._allow_stored_fallback = allow_stored_fallback
         self._source = source
         self._max_in_flight = max_in_flight
@@ -133,17 +186,9 @@ class ParallelBlockEncoder:
             try:
                 if BUS.active:
                     with span("pipeline.compress", worker=index, codec=codec.name):
-                        block = encode_block(
-                            data,
-                            codec,
-                            allow_stored_fallback=self._allow_stored_fallback,
-                        )
+                        block = self._encode(data, codec)
                 else:
-                    block = encode_block(
-                        data,
-                        codec,
-                        allow_stored_fallback=self._allow_stored_fallback,
-                    )
+                    block = self._encode(data, codec)
             except BaseException as exc:  # noqa: BLE001 - re-raised at call site
                 with self._cond:
                     if self._error is None:
@@ -153,6 +198,20 @@ class ParallelBlockEncoder:
                 with self._cond:
                     self._results[seq] = block
                     self._cond.notify_all()
+
+    def _encode(self, data: BlockData, codec: Codec):
+        """One worker's encode step: parts for vectored sinks, else a
+        (possibly pool-backed) contiguous frame."""
+        if self._sink_writev is not None:
+            return encode_block_parts(
+                data, codec, allow_stored_fallback=self._allow_stored_fallback
+            )
+        return encode_block(
+            data,
+            codec,
+            allow_stored_fallback=self._allow_stored_fallback,
+            pool=self._pool,
+        )
 
     # -- producer side ----------------------------------------------
 
@@ -182,7 +241,11 @@ class ParallelBlockEncoder:
     def _write_out(self, blocks: List[EncodedBlock]) -> None:
         """Write finished frames to the sink (producer thread, no lock)."""
         for block in blocks:
-            self._sink.write(block.frame)
+            if self._sink_writev is not None:
+                self._sink_writev((block.header_bytes, block.payload))
+            else:
+                self._sink.write(block.frame)
+                block.release()
             self.blocks_written += 1
             self.bytes_out += block.frame_len
 
@@ -234,6 +297,12 @@ class ParallelBlockEncoder:
             self.flush()
         finally:
             self._shutdown_workers()
+            if self._pool is not None and BUS.active:
+                BUS.publish(
+                    BufferPoolStats(
+                        ts=BUS.now(), source=self._source, **self._pool.stats()
+                    )
+                )
 
     def abort(self) -> None:
         """Stop and join the workers without emitting pending frames.
@@ -273,6 +342,7 @@ def make_block_encoder(
     allow_stored_fallback: bool = True,
     max_in_flight: Optional[int] = None,
     source: str = "pipeline",
+    pool: Optional[BufferPool] = None,
 ) -> Union[BlockWriter, ParallelBlockEncoder]:
     """Serial or parallel block encoder behind one interface.
 
@@ -280,6 +350,8 @@ def make_block_encoder(
     :class:`~repro.codecs.block.BlockWriter` — byte-for-byte and
     code-path-for-code-path today's behaviour, with zero threading
     overhead.  ``workers>1`` returns a :class:`ParallelBlockEncoder`.
+    ``pool`` recycles frame buffers on the parallel path; the serial
+    writer hands frames back to its caller, so it never pools them.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -291,4 +363,381 @@ def make_block_encoder(
         max_in_flight=max_in_flight,
         allow_stored_fallback=allow_stored_fallback,
         source=source,
+        pool=pool,
+    )
+
+
+class _SkippedFrame:
+    """Placeholder result for a frame dropped by a resync-mode worker."""
+
+    __slots__ = ("frame_len",)
+
+    def __init__(self, frame_len: int) -> None:
+        self.frame_len = frame_len
+
+
+class ParallelBlockDecoder:
+    """Decompress framed blocks on worker threads, yield them in order.
+
+    Drop-in replacement for :class:`~repro.codecs.block.BlockReader`
+    (and, with ``resync=True``, for
+    :class:`~repro.core.recovery.ResyncBlockReader`): same
+    ``read_block()``/iteration protocol, same
+    ``blocks_read``/``bytes_in``/``bytes_out`` (and
+    ``blocks_skipped``/``bytes_skipped``) counters, byte-identical
+    output.  See the module docstring for the concurrency contract;
+    call :meth:`close` (or use it as a context manager) so the threads
+    are joined deterministically.
+
+    In resync mode the fetcher runs the
+    :class:`~repro.core.recovery.ResyncFrameScanner`, so only CRC-valid
+    frames ever reach the workers.  The one semantic difference from
+    the serial resync reader is deliberately tiny: a frame whose CRC
+    matched but whose payload still fails to decompress (possible only
+    via checksum collision or a codec-registry mismatch) is counted as
+    one skipped block instead of triggering a byte-by-byte rescan —
+    the fetcher has already read past it.
+    """
+
+    def __init__(
+        self,
+        source: BinaryIO,
+        registry: CodecRegistry = DEFAULT_REGISTRY,
+        *,
+        workers: int,
+        max_in_flight: Optional[int] = None,
+        max_block_len: Optional[int] = None,
+        resync: bool = False,
+        pool: Optional[BufferPool] = None,
+        event_source: str = "decode-pipeline",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_in_flight is None:
+            max_in_flight = DEFAULT_MAX_IN_FLIGHT_PER_WORKER * workers
+        if max_in_flight < workers:
+            raise ValueError("max_in_flight must be >= workers")
+        self._registry = registry
+        self._resync = resync
+        self._pool = pool
+        self._event_source = event_source
+        self._scanner: Optional[ResyncFrameScanner] = None
+        self._reader: Optional[BlockReader] = None
+        if resync:
+            self._scanner = ResyncFrameScanner(
+                source, max_block_len=max_block_len, event_source=event_source
+            )
+        else:
+            self._reader = BlockReader(
+                source, registry, max_block_len=max_block_len, pool=pool
+            )
+        self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._cond = threading.Condition()
+        #: seq -> decoded bytes | _SkippedFrame, filled by workers,
+        #: drained in order by the consumer (guarded by ``_cond``).
+        self._results: dict = {}
+        self._error: Optional[BaseException] = None
+        #: Seq of the earliest failed frame — the consumer drains every
+        #: block before it (the serial reader's good prefix), *then*
+        #: raises.
+        self._error_seq: Optional[int] = None
+        #: Frames handed to workers so far / next seq the consumer emits.
+        self._fetched = 0
+        self._next_emit = 0
+        self._fetch_done = False
+        self._stop = False
+        self._closed = False
+        #: Read-ahead permits: the fetcher takes one per frame, the
+        #: consumer returns it once the block is emitted (or skipped).
+        self._window = threading.Semaphore(max_in_flight)
+        self.blocks_read = 0
+        self.bytes_out = 0
+        #: Resync-mode frames dropped by workers post-CRC (see class
+        #: docstring); folded into ``blocks_skipped``/``bytes_skipped``.
+        self._worker_skipped_blocks = 0
+        self._worker_skipped_bytes = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker,
+                args=(i,),
+                name=f"repro-decode-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+        self._fetcher = threading.Thread(
+            target=self._fetch_loop, name="repro-decode-fetch", daemon=True
+        )
+        self._fetcher.start()
+
+    # -- introspection ----------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def bytes_in(self) -> int:
+        """Raw stream bytes consumed by the fetcher."""
+        if self._scanner is not None:
+            return self._scanner.bytes_in
+        return self._reader.bytes_in
+
+    @property
+    def blocks_skipped(self) -> int:
+        """Damaged regions skipped (resync mode; 0 in strict mode)."""
+        scanned = self._scanner.blocks_skipped if self._scanner is not None else 0
+        return scanned + self._worker_skipped_blocks
+
+    @property
+    def bytes_skipped(self) -> int:
+        """Damaged/undecodable bytes discarded (resync mode)."""
+        scanned = self._scanner.bytes_skipped if self._scanner is not None else 0
+        return scanned + self._worker_skipped_bytes
+
+    # -- fetcher side -----------------------------------------------
+
+    def _fetch_one(self):
+        """Next ``(header, payload buffer)`` off the source, or None.
+
+        Strict mode delegates to :meth:`BlockReader.read_frame`
+        (CRC verified there; corruption raises).  Resync mode scans for
+        the next CRC-valid frame and detaches its payload from the scan
+        buffer — into a pool slab when we have a pool — so the scanner
+        can keep sliding while workers decompress.
+        """
+        if self._reader is not None:
+            return self._reader.read_frame()
+        header = self._scanner.next_frame()
+        if header is None:
+            return None
+        view = self._scanner.payload_view()
+        try:
+            if self._pool is not None:
+                payload = self._pool.acquire(view.nbytes)
+                payload.view[:] = view
+            else:
+                payload = bytearray(view)
+        finally:
+            view.release()
+        self._scanner.accept()
+        return header, payload
+
+    def _fetch_loop(self) -> None:
+        while True:
+            self._window.acquire()
+            if self._stop:
+                break
+            try:
+                frame = self._fetch_one()
+            except BaseException as exc:  # noqa: BLE001 - re-raised at call site
+                with self._cond:
+                    self._latch_error(exc, self._fetched)
+                    self._fetch_done = True
+                    self._cond.notify_all()
+                return
+            if frame is None:
+                break
+            with self._cond:
+                seq = self._fetched
+                self._fetched += 1
+            self._jobs.put((seq, frame[0], frame[1]))
+            if BUS.active:
+                BUS.publish(
+                    PipelineQueueDepth(
+                        ts=BUS.now(),
+                        source=self._event_source,
+                        depth=self._jobs.qsize(),
+                        in_flight=seq + 1 - self._next_emit,
+                        workers=len(self._workers),
+                    )
+                )
+        with self._cond:
+            self._fetch_done = True
+            self._cond.notify_all()
+
+    # -- worker side ------------------------------------------------
+
+    def _latch_error(self, exc: BaseException, seq: int) -> None:
+        """Record the earliest-seq failure (caller holds ``_cond``)."""
+        if self._error_seq is None or seq < self._error_seq:
+            self._error = exc
+            self._error_seq = seq
+
+    def _decode_one(self, header, payload) -> bytes:
+        buffer = payload.view if hasattr(payload, "view") else payload
+        try:
+            return decode_payload(header, buffer, self._registry, check_crc=False)
+        finally:
+            if hasattr(payload, "release"):
+                payload.release()
+
+    def _worker(self, index: int) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is _SHUTDOWN:
+                return
+            seq, header, payload = job
+            try:
+                if BUS.active:
+                    codec_name = self._registry.get(header.codec_id).name
+                    with span(
+                        "pipeline.decompress", worker=index, codec=codec_name
+                    ):
+                        data = self._decode_one(header, payload)
+                else:
+                    data = self._decode_one(header, payload)
+            except CodecError as exc:
+                if self._resync:
+                    # CRC already matched, so this is a post-checksum
+                    # decode failure: count the frame as skipped and
+                    # keep the stream going (see class docstring).
+                    marker = _SkippedFrame(HEADER_SIZE + header.compressed_len)
+                    with self._cond:
+                        self._results[seq] = marker
+                        self._cond.notify_all()
+                else:
+                    with self._cond:
+                        self._latch_error(exc, seq)
+                        self._cond.notify_all()
+            except BaseException as exc:  # noqa: BLE001 - re-raised at call site
+                with self._cond:
+                    self._latch_error(exc, seq)
+                    self._cond.notify_all()
+            else:
+                with self._cond:
+                    self._results[seq] = data
+                    self._cond.notify_all()
+
+    # -- consumer side ----------------------------------------------
+
+    def read_block(self) -> Optional[bytes]:
+        """Next decoded block in stream order; ``None`` at end of stream.
+
+        Blocks until the in-order head is decompressed.  A latched
+        fetcher/worker error is raised only once every block before the
+        failure point has been returned, matching the serial reader's
+        "good prefix, then raise" behaviour.
+        """
+        while True:
+            with self._cond:
+                while True:
+                    if self._next_emit in self._results:
+                        item = self._results.pop(self._next_emit)
+                        self._next_emit += 1
+                        break
+                    if self._error_seq is not None and self._next_emit >= self._error_seq:
+                        raise self._error
+                    if self._fetch_done and self._next_emit >= self._fetched:
+                        return None
+                    self._cond.wait()
+            self._window.release()
+            if isinstance(item, _SkippedFrame):
+                self._worker_skipped_blocks += 1
+                self._worker_skipped_bytes += item.frame_len
+                continue
+            self.blocks_read += 1
+            self.bytes_out += len(item)
+            return item
+
+    def close(self) -> None:
+        """Stop and join the fetcher and workers.  Idempotent.
+
+        Unread blocks are discarded — the read-side mirror of the
+        encoder's ``abort``: teardown never blocks on decoding data the
+        caller has decided not to consume.  A latched error is *not*
+        re-raised here; errors belong to :meth:`read_block`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown_threads()
+        if self._scanner is not None:
+            self._scanner.finish()
+        if self._pool is not None and BUS.active:
+            BUS.publish(
+                BufferPoolStats(
+                    ts=BUS.now(), source=self._event_source, **self._pool.stats()
+                )
+            )
+
+    def abort(self) -> None:
+        """Teardown without telemetry: the error-path twin of :meth:`close`.
+
+        Safe when the source is already known to be broken; never
+        touches the bus so failure handling stays allocation-free.
+        Drops any latched error — the caller is already propagating the
+        original failure.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown_threads()
+        with self._cond:
+            self._error = None
+            self._error_seq = None
+
+    def _shutdown_threads(self) -> None:
+        self._stop = True
+        # Wake the fetcher if it is parked on a full window (one permit
+        # is enough: it re-checks ``_stop`` right after acquiring).
+        self._window.release()
+        self._fetcher.join()
+        for _ in self._workers:
+            self._jobs.put(_SHUTDOWN)
+        for thread in self._workers:
+            thread.join()
+        with self._cond:
+            self._results.clear()
+
+    def __enter__(self) -> "ParallelBlockDecoder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            block = self.read_block()
+            if block is None:
+                return
+            yield block
+
+
+def make_block_decoder(
+    source: BinaryIO,
+    registry: CodecRegistry = DEFAULT_REGISTRY,
+    *,
+    workers: int = 1,
+    resync: bool = False,
+    max_block_len: Optional[int] = None,
+    max_in_flight: Optional[int] = None,
+    pool: Optional[BufferPool] = None,
+    event_source: str = "decode-pipeline",
+) -> Union[BlockReader, ResyncBlockReader, ParallelBlockDecoder]:
+    """Serial or parallel block decoder behind one interface.
+
+    ``workers=1`` returns the plain serial reader — the strict
+    :class:`~repro.codecs.block.BlockReader` or, with ``resync=True``,
+    :class:`~repro.core.recovery.ResyncBlockReader` — i.e. exactly
+    today's code path with zero threading overhead.  ``workers>1``
+    returns a :class:`ParallelBlockDecoder`.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1:
+        if resync:
+            return ResyncBlockReader(source, registry, max_block_len=max_block_len)
+        return BlockReader(source, registry, max_block_len=max_block_len, pool=pool)
+    return ParallelBlockDecoder(
+        source,
+        registry,
+        workers=workers,
+        max_in_flight=max_in_flight,
+        max_block_len=max_block_len,
+        resync=resync,
+        pool=pool,
+        event_source=event_source,
     )

@@ -23,24 +23,31 @@ import time
 from dataclasses import dataclass
 from typing import BinaryIO, Callable, Iterator, List, Optional, Tuple, Type
 
-from ..codecs.block import HEADER_SIZE, MAGIC, decode_header, decode_payload
+from ..codecs.block import (
+    HEADER_SIZE,
+    MAGIC,
+    BlockHeader,
+    decode_header,
+    decode_payload,
+    verify_crc,
+)
 from ..codecs.errors import CodecError, CorruptBlockError
 from ..codecs.registry import DEFAULT_REGISTRY, CodecRegistry
 from ..telemetry.events import BUS, BlockSkipped
 
-__all__ = ["ResyncBlockReader", "RetryPolicy", "retry_call"]
+__all__ = ["ResyncBlockReader", "ResyncFrameScanner", "RetryPolicy", "retry_call"]
 
 #: Read granularity while refilling the resync buffer.
 _READ_CHUNK = 64 * 1024
 
 
-class ResyncBlockReader:
-    """Decode a framed block stream, skipping damaged regions.
+class ResyncFrameScanner:
+    """Scan a damaged framed stream for CRC-valid candidate frames.
 
-    Drop-in replacement for :class:`~repro.codecs.block.BlockReader`
-    (same iteration protocol, same ``blocks_read``/``bytes_in``/
-    ``bytes_out`` counters) that never raises on corruption.  The
-    resync algorithm (see docs/robustness.md):
+    The fetch half of the resync algorithm (see docs/robustness.md),
+    factored out so one implementation serves both the serial
+    :class:`ResyncBlockReader` and the read-ahead fetcher of the
+    :class:`~repro.core.pipeline.ParallelBlockDecoder`:
 
     1. Scan the buffered stream for the two-byte ``MAGIC``; bytes
        before it are damage, counted into ``bytes_skipped``.
@@ -48,39 +55,43 @@ class ResyncBlockReader:
        the same bounds as the strict reader).  An invalid header means
        a false ``MAGIC`` inside damaged bytes: slide one byte and
        rescan.
-    3. CRC-check and decompress the candidate payload.  On any
-       failure, slide one byte past the candidate's magic and rescan —
-       crucially *without* trusting the candidate's claimed payload
-       length, so a corrupted length field can never swallow healthy
-       downstream frames.
+    3. CRC-check the candidate payload.  On mismatch, slide one byte
+       past the candidate's magic and rescan — crucially *without*
+       trusting the candidate's claimed payload length, so a corrupted
+       length field can never swallow healthy downstream frames.
     4. Each maximal run of discarded bytes counts as **one** entry in
        ``blocks_skipped`` (isolated corruption damages exactly one
        block) and publishes one
        :class:`~repro.telemetry.events.BlockSkipped` event.
 
-    Decoded output is therefore always a prefix-preserving ordered
-    subsequence of the original blocks — never silently wrong bytes.
+    Protocol: :meth:`next_frame` positions a CRC-valid frame at the
+    head of the buffer and returns its header; :meth:`payload_view`
+    exposes the payload without copying; the caller then either
+    :meth:`accept`\\ s the frame (consuming it) or :meth:`reject`\\ s it
+    (slide one byte, keep scanning) if decompression still fails —
+    preserving the strict "never silently wrong bytes" slide-and-rescan
+    semantics end to end.
     """
 
     def __init__(
         self,
         source: BinaryIO,
-        registry: CodecRegistry = DEFAULT_REGISTRY,
         *,
         max_block_len: Optional[int] = None,
+        event_source: str = "resync-reader",
     ) -> None:
         self._source = source
-        self._registry = registry
-        self._max_block_len = max_block_len
         self._readinto = getattr(source, "readinto", None)
+        self._max_block_len = max_block_len
+        self._event_source = event_source
         self._buffer = bytearray()
         self._eof = False
+        self._frame_len = 0
         #: Bytes discarded while scanning since the last good block
         #: (pending until attributed to a skip region).
         self._pending_skip = 0
-        self.blocks_read = 0
+        #: Raw stream bytes consumed (frames + damage).
         self.bytes_in = 0
-        self.bytes_out = 0
         #: Number of damaged regions skipped (>= damaged blocks merged
         #: into contiguous runs, == damaged blocks for isolated faults).
         self.blocks_skipped = 0
@@ -92,13 +103,27 @@ class ResyncBlockReader:
     def _fill(self, need: int) -> bool:
         """Grow the buffer to ``need`` bytes; False once EOF gets in
         the way."""
-        while len(self._buffer) < need and not self._eof:
-            want = max(need - len(self._buffer), _READ_CHUNK)
-            chunk = self._source.read(want)
-            if not chunk:
-                self._eof = True
-                break
-            self._buffer.extend(chunk)
+        buffered = len(self._buffer)
+        while buffered < need and not self._eof:
+            want = max(need - buffered, _READ_CHUNK)
+            if self._readinto is not None:
+                # Scatter-read straight into the buffer tail (the
+                # receive loop's ``recv_into`` path): grow, fill, trim.
+                self._buffer.extend(bytes(want))
+                with memoryview(self._buffer) as view:
+                    got = self._readinto(view[buffered:])
+                del self._buffer[buffered + (got or 0) :]
+                if not got:
+                    self._eof = True
+                    break
+                buffered += got
+            else:
+                chunk = self._source.read(want)
+                if not chunk:
+                    self._eof = True
+                    break
+                self._buffer.extend(chunk)
+                buffered += len(chunk)
         return len(self._buffer) >= need
 
     def _discard(self, n: int) -> None:
@@ -116,7 +141,7 @@ class ResyncBlockReader:
             BUS.publish(
                 BlockSkipped(
                     ts=BUS.now(),
-                    source="resync-reader",
+                    source=self._event_source,
                     bytes_skipped=self._pending_skip,
                     total_blocks_skipped=self.blocks_skipped,
                     total_bytes_skipped=self.bytes_skipped,
@@ -124,12 +149,14 @@ class ResyncBlockReader:
             )
         self._pending_skip = 0
 
-    # -- decoding ---------------------------------------------------
+    # -- scanning ---------------------------------------------------
 
-    def read_block(self) -> Optional[bytes]:
-        """Next decodable block, or ``None`` once the stream is spent.
+    def next_frame(self) -> Optional[BlockHeader]:
+        """Advance to the next CRC-valid frame; ``None`` once spent.
 
-        Never raises on corruption; damage is skipped and counted.
+        On return the frame occupies the buffer head; read its payload
+        with :meth:`payload_view`, then :meth:`accept` or
+        :meth:`reject` it.  Never raises on corruption.
         """
         while True:
             if not self._fill(HEADER_SIZE):
@@ -163,22 +190,115 @@ class ResyncBlockReader:
                 self._discard(1)
                 continue
             with memoryview(self._buffer) as view:
-                payload = view[HEADER_SIZE:need]
-                try:
-                    data = decode_payload(header, payload, self._registry)
-                except CodecError:
-                    data = None
-                finally:
-                    payload.release()
-            if data is None:
+                ok = verify_crc(header, view[HEADER_SIZE:need])
+            if not ok:
                 self._discard(1)
                 continue
-            del self._buffer[:need]
-            self._close_skip_region()
+            self._frame_len = need
+            return header
+
+    def payload_view(self) -> memoryview:
+        """Zero-copy view of the current frame's payload.
+
+        Valid only between :meth:`next_frame` and the following
+        :meth:`accept`/:meth:`reject`; release it before either.
+        """
+        return memoryview(self._buffer)[HEADER_SIZE : self._frame_len]
+
+    def accept(self) -> None:
+        """Consume the current frame and close any pending skip region."""
+        need, self._frame_len = self._frame_len, 0
+        del self._buffer[:need]
+        self._close_skip_region()
+        self.bytes_in += need
+
+    def reject(self) -> None:
+        """Discard one byte of the current candidate and keep scanning.
+
+        The CRC matched but the payload would not decode (possible only
+        via checksum collision or a registry mismatch): slide past the
+        candidate's magic exactly like any other false positive.
+        """
+        self._frame_len = 0
+        self._discard(1)
+
+    def finish(self) -> None:
+        """Account any still-pending damage (early shutdown path)."""
+        self._close_skip_region()
+
+
+class ResyncBlockReader:
+    """Decode a framed block stream, skipping damaged regions.
+
+    Drop-in replacement for :class:`~repro.codecs.block.BlockReader`
+    (same iteration protocol, same ``blocks_read``/``bytes_in``/
+    ``bytes_out`` counters) that never raises on corruption: frames are
+    located by a :class:`ResyncFrameScanner` and a frame whose payload
+    still fails to decompress after its CRC matched is rejected back to
+    the scanner, so decoded output is always a prefix-preserving
+    ordered subsequence of the original blocks — never silently wrong
+    bytes.
+    """
+
+    def __init__(
+        self,
+        source: BinaryIO,
+        registry: CodecRegistry = DEFAULT_REGISTRY,
+        *,
+        max_block_len: Optional[int] = None,
+    ) -> None:
+        self._scanner = ResyncFrameScanner(source, max_block_len=max_block_len)
+        self._registry = registry
+        self.blocks_read = 0
+        self.bytes_out = 0
+
+    # -- damage accounting (delegated to the scanner) ---------------
+
+    @property
+    def bytes_in(self) -> int:
+        return self._scanner.bytes_in
+
+    @property
+    def blocks_skipped(self) -> int:
+        return self._scanner.blocks_skipped
+
+    @property
+    def bytes_skipped(self) -> int:
+        return self._scanner.bytes_skipped
+
+    # -- decoding ---------------------------------------------------
+
+    def read_block(self) -> Optional[bytes]:
+        """Next decodable block, or ``None`` once the stream is spent.
+
+        Never raises on corruption; damage is skipped and counted.
+        """
+        while True:
+            header = self._scanner.next_frame()
+            if header is None:
+                return None
+            payload = self._scanner.payload_view()
+            try:
+                data = decode_payload(
+                    header, payload, self._registry, check_crc=False
+                )
+            except CodecError:
+                data = None
+            finally:
+                payload.release()
+            if data is None:
+                self._scanner.reject()
+                continue
+            self._scanner.accept()
             self.blocks_read += 1
-            self.bytes_in += need
             self.bytes_out += len(data)
             return data
+
+    def close(self) -> None:
+        """No-op: interface parity with the parallel decoder."""
+
+    def abort(self) -> None:
+        """No-op counterpart of the parallel decoder's error teardown."""
 
     def __iter__(self) -> Iterator[bytes]:
         while True:

@@ -36,6 +36,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-fairness": extensions.run_fairness,
     "ext-pipeline": extensions.run_pipeline,
     "ext-faults": extensions.run_faults,
+    "ext-decode": extensions.run_decode,
 }
 
 PAPER_SET = ("fig1", "fig2", "fig3", "table2", "fig4", "fig5", "fig6")
@@ -76,7 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override worker-thread count for experiments that use the "
-        "parallel compression pipeline (ext-pipeline)",
+        "parallel pipelines (ext-pipeline, ext-decode)",
     )
     parser.add_argument(
         "--json",

@@ -4,8 +4,8 @@
 
 * ``pack SRC DST`` — compress a file into the self-contained block
   format, adaptively by default (``--level`` forces a static level).
-* ``unpack SRC DST`` — restore; no options needed, every block names
-  its codec.
+* ``unpack SRC DST`` — restore; every block names its codec, so the
+  only knob is ``--workers`` for parallel decompression.
 * ``info FILE`` — inspect a packed file without decompressing: block
   count, per-codec histogram, ratios (shows which levels the adaptive
   scheme actually chose over the course of the stream).
@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     unpack = sub.add_parser("unpack", help="restore a packed file")
     unpack.add_argument("src")
     unpack.add_argument("dst")
+    unpack.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="decompression worker threads (1 = serial; output is identical)",
+    )
 
     info = sub.add_parser("info", help="inspect a packed file")
     info.add_argument("file")
@@ -91,7 +97,7 @@ def cmd_pack(args: argparse.Namespace) -> int:
 
 
 def cmd_unpack(args: argparse.Namespace) -> int:
-    nbytes = decompress_file(args.src, args.dst)
+    nbytes = decompress_file(args.src, args.dst, workers=args.workers)
     print(f"restored {nbytes:,} bytes")
     return 0
 

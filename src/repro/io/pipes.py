@@ -74,6 +74,19 @@ class BoundedPipe:
             self._writable.notify_all()
             return chunk
 
+    def writev(self, parts) -> int:
+        """Write all ``parts`` back to back (vectored-sink protocol).
+
+        The block writers hand frames over as separate header/payload
+        buffers when the sink advertises ``writev``; for the in-process
+        pipe that simply means consecutive appends under one protocol —
+        no frame assembly in the producer.
+        """
+        total = 0
+        for part in parts:
+            total += self.write(part)
+        return total
+
     def readinto(self, b) -> int:
         """Read up to ``len(b)`` bytes directly into buffer ``b``.
 

@@ -12,8 +12,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..codecs.block import DEFAULT_BLOCK_SIZE, BlockReader
+from ..codecs.block import DEFAULT_BLOCK_SIZE
+from ..core.buffers import BufferPool
 from ..core.levels import CompressionLevelTable
+from ..core.pipeline import make_block_decoder
 from ..core.stream import AdaptiveBlockWriter, StaticBlockWriter
 
 
@@ -78,15 +80,23 @@ def compress_file(
     )
 
 
-def decompress_file(src_path: str, dst_path: str) -> int:
+def decompress_file(src_path: str, dst_path: str, *, workers: int = 1) -> int:
     """Restore a block stream produced by :func:`compress_file`.
 
     Returns the number of bytes written.  No configuration is needed:
-    every block names its own codec.
+    every block names its own codec.  ``workers`` > 1 decompresses on a
+    :class:`~repro.core.pipeline.ParallelBlockDecoder` — byte-identical
+    output, decode spread across cores.
     """
     total = 0
     with open(src_path, "rb") as src, open(dst_path, "wb") as dst:
-        for block in BlockReader(src):
-            dst.write(block)
-            total += len(block)
+        decoder = make_block_decoder(
+            src, workers=workers, pool=BufferPool(), event_source="file-decode"
+        )
+        try:
+            for block in decoder:
+                dst.write(block)
+                total += len(block)
+        finally:
+            decoder.close()
     return total

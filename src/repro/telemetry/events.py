@@ -32,6 +32,7 @@ __all__ = [
     "BlockCompressed",
     "TransferProgress",
     "PipelineQueueDepth",
+    "BufferPoolStats",
     "BackoffUpdated",
     "FaultInjected",
     "BlockSkipped",
@@ -123,6 +124,22 @@ class PipelineQueueDepth(TelemetryEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class BufferPoolStats(TelemetryEvent):
+    """Counter snapshot of a :class:`~repro.core.buffers.BufferPool`.
+
+    Published once per pipeline lifetime (at close) by the pipelines
+    that own a pool — the pool itself never touches the bus, keeping
+    ``acquire``/``release`` branch-free on the hot path.
+    """
+
+    source: str
+    hits: int
+    misses: int
+    oversize: int
+    free_slabs: int
+
+
+@dataclass(frozen=True, slots=True)
 class BackoffUpdated(TelemetryEvent):
     """Algorithm 1 rewarded or punished a level's backoff exponent."""
 
@@ -185,6 +202,7 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     BlockCompressed,
     TransferProgress,
     PipelineQueueDepth,
+    BufferPoolStats,
     BackoffUpdated,
     FaultInjected,
     BlockSkipped,

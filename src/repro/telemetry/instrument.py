@@ -24,6 +24,7 @@ from .events import (
     BackoffUpdated,
     BlockCompressed,
     BlockSkipped,
+    BufferPoolStats,
     EpochClosed,
     EventBus,
     FaultInjected,
@@ -95,6 +96,12 @@ def install_metric_subscribers(
         registry.counter("resync.blocks_skipped").inc()
         registry.counter("resync.bytes_skipped").inc(event.bytes_skipped)
 
+    def on_pool(event: BufferPoolStats) -> None:
+        registry.counter(f"{event.source}.pool.hits").inc(event.hits)
+        registry.counter(f"{event.source}.pool.misses").inc(event.misses)
+        registry.counter(f"{event.source}.pool.oversize").inc(event.oversize)
+        registry.gauge(f"{event.source}.pool.free_slabs").set(event.free_slabs)
+
     return [
         bus.subscribe(on_epoch, EpochClosed),
         bus.subscribe(on_switch, LevelSwitched),
@@ -105,6 +112,7 @@ def install_metric_subscribers(
         bus.subscribe(on_span, SpanClosed),
         bus.subscribe(on_fault, FaultInjected),
         bus.subscribe(on_skip, BlockSkipped),
+        bus.subscribe(on_pool, BufferPoolStats),
     ]
 
 

@@ -1,0 +1,138 @@
+"""BufferPool: slab reuse, oversize handling, counters, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.buffers import DEFAULT_SLAB_SIZE, BufferPool, PooledBuffer
+
+
+class TestAcquireRelease:
+    def test_view_is_exact_length_and_writable(self):
+        pool = BufferPool(slab_size=1024)
+        buf = pool.acquire(100)
+        assert len(buf) == 100
+        assert buf.view.nbytes == 100
+        buf.view[:] = b"x" * 100
+        assert bytes(buf.view) == b"x" * 100
+        buf.release()
+
+    def test_release_recycles_slab(self):
+        pool = BufferPool(slab_size=1024)
+        first = pool.acquire(10)
+        first.release()
+        assert pool.free_slabs == 1
+        second = pool.acquire(900)
+        assert pool.misses == 1
+        assert pool.hits == 1
+        assert pool.free_slabs == 0
+        second.release()
+
+    def test_release_is_idempotent(self):
+        pool = BufferPool(slab_size=64)
+        buf = pool.acquire(8)
+        buf.release()
+        buf.release()
+        assert pool.free_slabs == 1
+
+    def test_released_view_is_invalidated(self):
+        pool = BufferPool(slab_size=64)
+        buf = pool.acquire(8)
+        buf.release()
+        assert buf.view is None
+
+    def test_distinct_buffers_do_not_share_a_slab(self):
+        pool = BufferPool(slab_size=64)
+        a = pool.acquire(16)
+        b = pool.acquire(16)
+        a.view[:] = b"a" * 16
+        b.view[:] = b"b" * 16
+        assert bytes(a.view) == b"a" * 16
+        a.release()
+        b.release()
+
+
+class TestOversize:
+    def test_oversize_served_without_pooling(self):
+        pool = BufferPool(slab_size=100)
+        big = pool.acquire(1000)
+        assert len(big) == 1000
+        assert pool.oversize == 1
+        big.release()
+        # One-off allocations never join the free list.
+        assert pool.free_slabs == 0
+        assert pool.misses == 0
+
+    def test_exact_slab_size_is_pooled(self):
+        pool = BufferPool(slab_size=100)
+        buf = pool.acquire(100)
+        buf.release()
+        assert pool.oversize == 0
+        assert pool.free_slabs == 1
+
+
+class TestLimits:
+    def test_max_slabs_caps_the_free_list(self):
+        pool = BufferPool(slab_size=32, max_slabs=2)
+        bufs = [pool.acquire(8) for _ in range(5)]
+        for buf in bufs:
+            buf.release()
+        assert pool.free_slabs == 2
+        assert pool.misses == 5
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(slab_size=0)
+        with pytest.raises(ValueError):
+            BufferPool(max_slabs=0)
+
+    def test_default_slab_fits_a_block_plus_overhead(self):
+        assert DEFAULT_SLAB_SIZE >= 128 * 1024
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        pool = BufferPool(slab_size=64)
+        pool.acquire(8).release()
+        hit = pool.acquire(8)
+        pool.acquire(1000).release()
+        assert pool.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "oversize": 1,
+            "free_slabs": 0,
+        }
+        hit.release()
+        assert pool.stats()["free_slabs"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_acquire_release(self):
+        pool = BufferPool(slab_size=256, max_slabs=8)
+        errors = []
+
+        def churn():
+            try:
+                for i in range(200):
+                    buf = pool.acquire(64)
+                    buf.view[:] = bytes([i % 251]) * 64
+                    assert bytes(buf.view) == bytes([i % 251]) * 64
+                    buf.release()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        assert pool.hits + pool.misses == 800
+        assert pool.free_slabs <= 8
+
+    def test_unpooled_buffer_release(self):
+        buf = PooledBuffer(bytearray(10), 10, None)
+        buf.release()
+        buf.release()

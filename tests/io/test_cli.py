@@ -69,6 +69,28 @@ class TestPackUnpack:
         assert main(["unpack", str(parallel), str(restored)]) == 0
         assert restored.read_bytes() == sample_file.read_bytes()
 
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_unpack_workers_identical_output(
+        self, tmp_path, sample_file, workers
+    ):
+        """unpack --workers parallelises decode without changing a byte."""
+        packed = tmp_path / "out.abc"
+        restored = tmp_path / f"back{workers}.bin"
+        assert main(["pack", str(sample_file), str(packed)]) == 0
+        assert (
+            main(
+                [
+                    "unpack",
+                    str(packed),
+                    str(restored),
+                    "--workers",
+                    str(workers),
+                ]
+            )
+            == 0
+        )
+        assert restored.read_bytes() == sample_file.read_bytes()
+
     def test_missing_input(self, tmp_path, capsys):
         rc = main(["pack", str(tmp_path / "ghost"), str(tmp_path / "out")])
         assert rc == 1

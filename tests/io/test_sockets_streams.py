@@ -8,6 +8,7 @@ import pytest
 
 from repro.data import Compressibility, RepeatingSource, SyntheticCorpus
 from repro.io import compress_file, decompress_file, run_socket_transfer
+from repro.io.sockets import SocketSource, VectoredSocketWriter
 
 
 @pytest.fixture(scope="module")
@@ -55,6 +56,95 @@ class TestSocketTransfer:
         assert res.compression_ratio < 1.01
 
 
+class TestParallelReceivePath:
+    def test_decode_workers_roundtrip(self, corpus):
+        src = RepeatingSource.from_corpus(Compressibility.HIGH, 1_000_000, corpus)
+        res = run_socket_transfer(
+            src, block_size=32 * 1024, epoch_seconds=0.1, decode_workers=3
+        )
+        assert res.app_bytes == 1_000_000
+        assert res.receiver_bytes == 1_000_000
+
+    def test_unvectored_sender_roundtrip(self, corpus):
+        """vectored=False keeps the makefile('wb') sender path working."""
+        src = RepeatingSource.from_corpus(Compressibility.MODERATE, 500_000, corpus)
+        res = run_socket_transfer(
+            src, static_level=2, block_size=32 * 1024, vectored=False
+        )
+        assert res.receiver_bytes == 500_000
+
+    def test_decode_workers_with_encode_workers(self, corpus):
+        """Both pipelines at once: parallel encode into parallel decode."""
+        src = RepeatingSource.from_corpus(Compressibility.HIGH, 800_000, corpus)
+        res = run_socket_transfer(
+            src, static_level=2, block_size=32 * 1024, workers=2, decode_workers=2
+        )
+        assert res.receiver_bytes == 800_000
+
+
+class _ChokedSocket:
+    """sendmsg stub that accepts at most ``cap`` bytes per call."""
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.sent = bytearray()
+        self.calls = 0
+
+    def sendmsg(self, buffers) -> int:
+        self.calls += 1
+        budget = self.cap
+        for buf in buffers:
+            take = min(budget, buf.nbytes)
+            self.sent += buf[:take]
+            budget -= take
+            if budget == 0:
+                break
+        return self.cap - budget
+
+    def sendall(self, data) -> None:
+        self.sent += data
+
+
+class TestVectoredSocketWriter:
+    def test_partial_sends_resume_mid_part(self):
+        """Short sendmsg returns (cap smaller than any one part) must
+        resume from the first unsent byte, never duplicate or drop."""
+        sock = _ChokedSocket(cap=7)
+        writer = VectoredSocketWriter(sock)
+        parts = (b"header--", b"payload bytes that span several sends")
+        n = writer.writev(parts)
+        assert n == sum(len(p) for p in parts)
+        assert bytes(sock.sent) == b"".join(parts)
+        assert sock.calls > 1
+        assert writer.bytes_sent == n
+
+    def test_scalar_write_fallback(self):
+        sock = _ChokedSocket(cap=1024)
+        writer = VectoredSocketWriter(sock)
+        assert writer.write(b"plain") == 5
+        assert bytes(sock.sent) == b"plain"
+        writer.flush()
+        writer.close()  # no-ops; the socket stays usable
+
+
+class TestSocketSource:
+    def test_readinto_and_drain(self):
+        import socket as socket_module
+
+        left, right = socket_module.socketpair()
+        try:
+            left.sendall(b"abcdefgh")
+            source = SocketSource(right)
+            buf = bytearray(5)
+            got = source.readinto(buf)
+            assert buf[:got] == b"abcdefgh"[:got]
+            left.close()
+            rest = source.read(-1)
+            assert bytes(buf[:got]) + rest == b"abcdefgh"
+        finally:
+            right.close()
+
+
 class TestFileCompression:
     def test_roundtrip_adaptive(self, tmp_path, corpus):
         src_path = tmp_path / "input.bin"
@@ -81,6 +171,18 @@ class TestFileCompression:
             res = compress_file(str(src_path), str(out), static_level=level)
             sizes[level] = res.output_bytes
         assert sizes[3] < sizes[1]
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_decompress_workers_identical(self, tmp_path, corpus, workers):
+        data = corpus.payload(Compressibility.HIGH) * 4
+        src_path = tmp_path / "input.bin"
+        src_path.write_bytes(data)
+        packed = tmp_path / "packed.abc"
+        restored = tmp_path / f"restored{workers}.bin"
+        compress_file(str(src_path), str(packed), block_size=16 * 1024)
+        n = decompress_file(str(packed), str(restored), workers=workers)
+        assert n == len(data)
+        assert restored.read_bytes() == data
 
     def test_empty_file(self, tmp_path):
         src_path = tmp_path / "empty.bin"
