@@ -1,0 +1,194 @@
+"""Concurrency scaling benchmark for the repro.serve daemon.
+
+Standalone script (not a pytest-benchmark file): it starts one
+:class:`~repro.serve.TransferServer` and drives 1, 4 and 16 concurrent
+client flows through it, measuring aggregate and per-flow application
+throughput, then writes ``BENCH_serve.json`` and — in ``--quick`` mode
+— enforces the CI regression gate.
+
+Every flow is CRC-verified end to end by :class:`~repro.serve.ServeClient`
+(the trailer carries the server's plaintext CRC32), so a passing run is
+also a 16-way byte-identity check, not just a stopwatch.
+
+The gate is deliberately conservative, because hosted CI runners vary
+wildly in cores and background load:
+
+* every flow at every concurrency level must complete verified, and
+  the server must report zero failed flows (correctness gate, always);
+* multiplexing must not *collapse*: aggregate throughput at 16 flows
+  must stay above 25 % of the single-flow aggregate (the event loop
+  and the shared codec pool are allowed to be saturated, but a fair
+  scheduler should never be 4x worse than one flow doing the same
+  total work);
+* with >= 2 usable cores, 4 flows must move at least as much aggregate
+  data per second as 60 % of 1 flow (shared-pool contention bound).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+        [--mib 8] [--out BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+
+from bench_pipeline import core_info
+
+from repro.data.corpus import Compressibility, generate
+from repro.serve import ServeClient, ServeConfig, TransferServer
+
+FLOW_COUNTS = (1, 4, 16)
+
+
+def run_round(data: bytes, flows: int, codec_workers: int) -> dict:
+    """One daemon, ``flows`` concurrent uploads; aggregate + per-flow stats."""
+    server = TransferServer(
+        ServeConfig(port=0, max_flows=flows + 4, codec_workers=codec_workers)
+    ).start()
+    host, port = server.address
+    results = [None] * flows
+    errors: list = []
+
+    def run(i: int) -> None:
+        try:
+            client = ServeClient(host, port, timeout=120.0)
+            results[i] = client.upload(data, level="LIGHT")
+        except Exception as exc:  # noqa: BLE001 - recorded for the gate
+            errors.append(f"flow {i}: {exc!r}")
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(flows)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    server.stop(drain=True, timeout=30.0)
+
+    flow_seconds = [r.seconds for r in results if r is not None]
+    total_app = len(data) * len(flow_seconds)
+    return {
+        "flows": flows,
+        "completed": len(flow_seconds),
+        "errors": errors,
+        "server_failed_flows": server.flows_failed,
+        "wall_seconds": round(wall, 4),
+        "aggregate_mb_per_s": round(total_app / wall / 1e6, 2) if wall else 0.0,
+        "per_flow_mb_per_s": round(len(data) / (sum(flow_seconds) / len(flow_seconds)) / 1e6, 2)
+        if flow_seconds
+        else 0.0,
+        "flow_seconds_min": round(min(flow_seconds), 4) if flow_seconds else None,
+        "flow_seconds_max": round(max(flow_seconds), 4) if flow_seconds else None,
+        "codec_pool": server.codec_pool.stats(),
+        "buffer_pool": server.buffer_pool.stats(),
+    }
+
+
+def run_matrix(mib: int, codec_workers: int, flow_counts) -> dict:
+    data = generate(Compressibility.MODERATE, mib * 2**20, seed=13)
+    rounds = []
+    for flows in flow_counts:
+        cell = run_round(data, flows, codec_workers)
+        rounds.append(cell)
+        print(
+            f"  flows={flows:3d}  aggregate {cell['aggregate_mb_per_s']:8.1f} MB/s  "
+            f"wall {cell['wall_seconds']:.2f}s  "
+            f"completed {cell['completed']}/{flows}",
+            flush=True,
+        )
+    return {
+        "meta": {
+            "payload_mib_per_flow": mib,
+            "codec_workers": codec_workers,
+            **core_info(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "rounds": rounds,
+    }
+
+
+def _round(payload: dict, flows: int) -> dict:
+    for cell in payload["rounds"]:
+        if cell["flows"] == flows:
+            return cell
+    raise KeyError(f"no round for flows={flows}")
+
+
+def check_gate(payload: dict) -> list[str]:
+    """Return failure messages (empty = gate passed)."""
+    failures = []
+    for cell in payload["rounds"]:
+        if cell["completed"] != cell["flows"] or cell["errors"]:
+            failures.append(
+                f"flows={cell['flows']}: only {cell['completed']} of "
+                f"{cell['flows']} flows completed verified ({cell['errors'][:2]})"
+            )
+        if cell["server_failed_flows"]:
+            failures.append(
+                f"flows={cell['flows']}: server reported "
+                f"{cell['server_failed_flows']} failed flows"
+            )
+    if failures:
+        return failures  # throughput ratios are meaningless on failures
+    cores = payload["meta"]["usable_cores"]
+    base = _round(payload, 1)["aggregate_mb_per_s"]
+    if base <= 0:
+        return ["single-flow round produced no throughput sample"]
+    sixteen = _round(payload, 16)["aggregate_mb_per_s"]
+    if sixteen < 0.25 * base:
+        failures.append(
+            f"16-flow aggregate collapsed: {sixteen:.1f} MB/s vs "
+            f"{base:.1f} MB/s single-flow (floor 25%)"
+        )
+    if cores >= 2:
+        four = _round(payload, 4)["aggregate_mb_per_s"]
+        if four < 0.6 * base:
+            failures.append(
+                f"4-flow aggregate {four:.1f} MB/s below 60% of "
+                f"single-flow {base:.1f} MB/s with {cores} cores"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small per-flow payload, gate enforced",
+    )
+    parser.add_argument("--mib", type=int, default=None, help="payload MiB per flow")
+    parser.add_argument(
+        "--workers", type=int, default=0, help="shared codec workers (0 = auto)"
+    )
+    parser.add_argument("--out", default="BENCH_serve.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    mib = args.mib or (2 if args.quick else 8)
+    print(
+        f"serve benchmark: {mib} MiB/flow at {FLOW_COUNTS} concurrent flows, "
+        f"usable cores={core_info()['usable_cores']}",
+        flush=True,
+    )
+    payload = run_matrix(mib, args.workers, FLOW_COUNTS)
+    with open(args.out, "w") as fp:
+        json.dump(payload, fp, indent=2)
+    print(f"matrix written to {args.out}")
+
+    failures = check_gate(payload)
+    for failure in failures:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

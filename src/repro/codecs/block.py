@@ -140,6 +140,11 @@ class EncodedParts:
             return 1.0
         return self.header.compressed_len / self.header.uncompressed_len
 
+    def release(self) -> None:
+        """No-op, mirroring :meth:`EncodedBlock.release`: parts never
+        borrow pool buffers, so discard paths can release any encoded
+        result without a type check."""
+
 
 def _compress_payload(
     data: BlockData, codec: Codec, allow_stored_fallback: bool

@@ -53,6 +53,16 @@ direction:
 Both pipelines accept a :class:`~repro.core.buffers.BufferPool` to
 recycle frame/payload buffers instead of allocating per block.
 
+Both pipelines execute their codec jobs on a :class:`CodecThreadPool`.
+By default each pipeline owns a private pool sized by ``workers`` —
+exactly the historical one-pipeline-per-thread-set shape.  Passing
+``codec_pool=`` instead makes the pipeline one of many clients of a
+*shared* pool: the :mod:`repro.serve` connection manager runs every
+flow's compress and decompress jobs on one pool this way, so a daemon
+with hundreds of flows still holds one bounded set of codec threads.
+Ordering, windowing and error latching stay per-pipeline; only the
+execution substrate is shared.
+
 Telemetry keeps PR 1's zero-cost-when-idle property: queue-depth gauges
 (:class:`~repro.telemetry.events.PipelineQueueDepth`), per-worker
 compress/decompress spans (``pipeline.compress`` /
@@ -86,6 +96,7 @@ from ..telemetry.events import BUS, BufferPoolStats, PipelineQueueDepth
 from ..telemetry.spans import span
 
 __all__ = [
+    "CodecThreadPool",
     "ParallelBlockEncoder",
     "ParallelBlockDecoder",
     "make_block_encoder",
@@ -99,6 +110,122 @@ DEFAULT_MAX_IN_FLIGHT_PER_WORKER = 2
 
 #: Sentinel telling a worker thread to exit.
 _SHUTDOWN = None
+
+
+class CodecThreadPool:
+    """N worker threads executing codec jobs for any number of clients.
+
+    The execution substrate both pipelines run on — and the piece that
+    lets *many* of them share one set of threads: a pipeline (or a
+    :mod:`repro.serve` flow) submits self-contained job thunks, the
+    pool runs them on whichever worker frees up first, and the job
+    itself delivers its result back to its owner (in-order reassembly,
+    error latching and windowing stay with the owner, where the
+    ordering requirements live).
+
+    Jobs are ``fn(worker_index)`` callables and must not raise: each
+    owner catches its own failures and latches them into its own error
+    state.  A job that raises anyway (an owner bug) is counted in
+    ``job_failures`` and recorded in ``last_internal_error`` — the
+    worker thread survives, because one misbehaving flow must never
+    take down the threads every other flow runs on.
+
+    ``close`` drains already-queued jobs, then stops and joins every
+    worker.  Idempotent; ``submit`` after close raises.
+    """
+
+    def __init__(self, workers: int, *, name: str = "repro-codec") -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Lifetime job counters (under ``_lock``); exposed via
+        #: :meth:`stats` so shared-pool users can verify every flow
+        #: really ran through this one pool.
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.job_failures = 0
+        self.last_internal_error: Optional[BaseException] = None
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(i,),
+                name=f"{name}-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def workers(self) -> int:
+        return len(self._threads)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def qsize(self) -> int:
+        """Jobs queued but not yet picked up by a worker."""
+        return self._jobs.qsize()
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs submitted but not yet finished (queued + running)."""
+        with self._lock:
+            return self.jobs_submitted - self.jobs_completed
+
+    def submit(self, fn) -> None:
+        """Queue ``fn(worker_index)`` for execution on some worker."""
+        if self._closed:
+            raise ValueError("codec pool is closed")
+        with self._lock:
+            self.jobs_submitted += 1
+        self._jobs.put(fn)
+
+    def _worker(self, index: int) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is _SHUTDOWN:
+                return
+            try:
+                job(index)
+            except BaseException as exc:  # noqa: BLE001 - owner bug, keep worker alive
+                with self._lock:
+                    self.job_failures += 1
+                    self.last_internal_error = exc
+            finally:
+                with self._lock:
+                    self.jobs_completed += 1
+
+    def close(self) -> None:
+        """Drain queued jobs, then stop and join the workers.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._jobs.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join()
+
+    def stats(self) -> dict:
+        """Counter snapshot (for telemetry events and tests)."""
+        with self._lock:
+            return {
+                "workers": len(self._threads),
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_completed": self.jobs_completed,
+                "job_failures": self.job_failures,
+                "queued": self._jobs.qsize(),
+            }
+
+    def __enter__(self) -> "CodecThreadPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ParallelBlockEncoder:
@@ -116,18 +243,31 @@ class ParallelBlockEncoder:
         self,
         sink: BinaryIO,
         *,
-        workers: int,
+        workers: int = 0,
         max_in_flight: Optional[int] = None,
         allow_stored_fallback: bool = True,
         source: str = "pipeline",
         pool: Optional[BufferPool] = None,
+        codec_pool: Optional[CodecThreadPool] = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        if codec_pool is None:
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+            self._codec_pool = CodecThreadPool(workers, name="repro-pipeline")
+            self._owns_pool = True
+        else:
+            # Shared substrate: this encoder is one of many clients of
+            # ``codec_pool`` and must never stop or join it.  ``workers``
+            # (when given) only sizes the default in-flight window.
+            self._codec_pool = codec_pool
+            self._owns_pool = False
+            workers = workers if workers >= 1 else codec_pool.workers
         if max_in_flight is None:
             max_in_flight = DEFAULT_MAX_IN_FLIGHT_PER_WORKER * workers
-        if max_in_flight < workers:
+        if self._owns_pool and max_in_flight < workers:
             raise ValueError("max_in_flight must be >= workers")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
         self._sink = sink
         # Vectored sinks take (header, payload) parts and the frame is
         # never assembled; otherwise frames go out contiguous, carved
@@ -137,7 +277,6 @@ class ParallelBlockEncoder:
         self._allow_stored_fallback = allow_stored_fallback
         self._source = source
         self._max_in_flight = max_in_flight
-        self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
         self._cond = threading.Condition()
         #: seq -> EncodedBlock, filled by workers, drained in order by
         #: the producer thread (guarded by ``_cond``).
@@ -146,29 +285,26 @@ class ParallelBlockEncoder:
         self._next_submit = 0
         self._next_emit = 0
         self._closed = False
+        #: After abort on a shared pool: jobs still queued there must
+        #: drop (and release) their results instead of latching them.
+        self._discard = False
         self.blocks_written = 0
         #: Uncompressed bytes *submitted* (counted at submission so the
         #: stream layer's accounting includes in-flight blocks).
         self.bytes_in = 0
         #: Framed bytes handed to the sink (counted at emission).
         self.bytes_out = 0
-        self._threads = [
-            threading.Thread(
-                target=self._worker,
-                args=(i,),
-                name=f"repro-pipeline-{i}",
-                daemon=True,
-            )
-            for i in range(workers)
-        ]
-        for thread in self._threads:
-            thread.start()
 
     # -- introspection ----------------------------------------------
 
     @property
     def workers(self) -> int:
-        return len(self._threads)
+        return self._codec_pool.workers
+
+    @property
+    def codec_pool(self) -> CodecThreadPool:
+        """The thread pool this encoder's compress jobs run on."""
+        return self._codec_pool
 
     @property
     def in_flight(self) -> int:
@@ -177,27 +313,28 @@ class ParallelBlockEncoder:
 
     # -- worker side ------------------------------------------------
 
-    def _worker(self, index: int) -> None:
-        while True:
-            job = self._jobs.get()
-            if job is _SHUTDOWN:
-                return
-            seq, data, codec = job
-            try:
-                if BUS.active:
-                    with span("pipeline.compress", worker=index, codec=codec.name):
-                        block = self._encode(data, codec)
-                else:
+    def _run_job(self, index: int, seq: int, data: BlockData, codec: Codec) -> None:
+        """One compress job, run on a pool worker thread."""
+        try:
+            if BUS.active:
+                with span("pipeline.compress", worker=index, codec=codec.name):
                     block = self._encode(data, codec)
-            except BaseException as exc:  # noqa: BLE001 - re-raised at call site
-                with self._cond:
-                    if self._error is None:
-                        self._error = exc
-                    self._cond.notify_all()
             else:
-                with self._cond:
-                    self._results[seq] = block
-                    self._cond.notify_all()
+                block = self._encode(data, codec)
+        except BaseException as exc:  # noqa: BLE001 - re-raised at call site
+            with self._cond:
+                if self._error is None:
+                    self._error = exc
+                self._cond.notify_all()
+        else:
+            with self._cond:
+                if self._discard:
+                    # Aborted while this job sat in a shared pool's
+                    # queue: nobody will emit it, so return its buffer.
+                    block.release()
+                    return
+                self._results[seq] = block
+                self._cond.notify_all()
 
     def _encode(self, data: BlockData, codec: Codec):
         """One worker's encode step: parts for vectored sinks, else a
@@ -266,15 +403,19 @@ class ParallelBlockEncoder:
         seq = self._next_submit
         self._next_submit += 1
         self.bytes_in += data.nbytes if isinstance(data, memoryview) else len(data)
-        self._jobs.put((seq, data, codec))
+        self._codec_pool.submit(
+            lambda index, seq=seq, data=data, codec=codec: self._run_job(
+                index, seq, data, codec
+            )
+        )
         if BUS.active:
             BUS.publish(
                 PipelineQueueDepth(
                     ts=BUS.now(),
                     source=self._source,
-                    depth=self._jobs.qsize(),
+                    depth=self._codec_pool.qsize(),
                     in_flight=self._next_submit - self._next_emit,
-                    workers=len(self._threads),
+                    workers=self._codec_pool.workers,
                 )
             )
 
@@ -322,11 +463,16 @@ class ParallelBlockEncoder:
             self._error = None
 
     def _shutdown_workers(self) -> None:
-        for _ in self._threads:
-            self._jobs.put(_SHUTDOWN)
-        for thread in self._threads:
-            thread.join()
-        self._results.clear()
+        # From here on any job still queued (possible when the pool is
+        # shared, or on the owned-pool error path) drops its result.
+        with self._cond:
+            self._discard = True
+        if self._owns_pool:
+            self._codec_pool.close()
+        with self._cond:
+            for block in self._results.values():
+                block.release()
+            self._results.clear()
 
     def __enter__(self) -> "ParallelBlockEncoder":
         return self
@@ -343,6 +489,7 @@ def make_block_encoder(
     max_in_flight: Optional[int] = None,
     source: str = "pipeline",
     pool: Optional[BufferPool] = None,
+    codec_pool: Optional[CodecThreadPool] = None,
 ) -> Union[BlockWriter, ParallelBlockEncoder]:
     """Serial or parallel block encoder behind one interface.
 
@@ -352,7 +499,20 @@ def make_block_encoder(
     overhead.  ``workers>1`` returns a :class:`ParallelBlockEncoder`.
     ``pool`` recycles frame buffers on the parallel path; the serial
     writer hands frames back to its caller, so it never pools them.
+    ``codec_pool`` routes compress jobs to a shared
+    :class:`CodecThreadPool` (always the parallel class then, whatever
+    ``workers`` says) instead of spawning threads owned by this encoder.
     """
+    if codec_pool is not None:
+        return ParallelBlockEncoder(
+            sink,
+            workers=workers if workers > 1 else 0,
+            max_in_flight=max_in_flight,
+            allow_stored_fallback=allow_stored_fallback,
+            source=source,
+            pool=pool,
+            codec_pool=codec_pool,
+        )
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if workers == 1:
@@ -404,19 +564,31 @@ class ParallelBlockDecoder:
         source: BinaryIO,
         registry: CodecRegistry = DEFAULT_REGISTRY,
         *,
-        workers: int,
+        workers: int = 0,
         max_in_flight: Optional[int] = None,
         max_block_len: Optional[int] = None,
         resync: bool = False,
         pool: Optional[BufferPool] = None,
         event_source: str = "decode-pipeline",
+        codec_pool: Optional[CodecThreadPool] = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        if codec_pool is None:
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+            self._codec_pool = CodecThreadPool(workers, name="repro-decode")
+            self._owns_pool = True
+        else:
+            # Shared substrate (see ParallelBlockEncoder): never stopped
+            # or joined by this decoder.
+            self._codec_pool = codec_pool
+            self._owns_pool = False
+            workers = workers if workers >= 1 else codec_pool.workers
         if max_in_flight is None:
             max_in_flight = DEFAULT_MAX_IN_FLIGHT_PER_WORKER * workers
-        if max_in_flight < workers:
+        if self._owns_pool and max_in_flight < workers:
             raise ValueError("max_in_flight must be >= workers")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
         self._registry = registry
         self._resync = resync
         self._pool = pool
@@ -431,7 +603,6 @@ class ParallelBlockDecoder:
             self._reader = BlockReader(
                 source, registry, max_block_len=max_block_len, pool=pool
             )
-        self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
         self._cond = threading.Condition()
         #: seq -> decoded bytes | _SkippedFrame, filled by workers,
         #: drained in order by the consumer (guarded by ``_cond``).
@@ -447,6 +618,9 @@ class ParallelBlockDecoder:
         self._fetch_done = False
         self._stop = False
         self._closed = False
+        #: After abort/close: jobs still queued on a shared pool drop
+        #: their frames instead of decoding and latching them.
+        self._discard = False
         #: Read-ahead permits: the fetcher takes one per frame, the
         #: consumer returns it once the block is emitted (or skipped).
         self._window = threading.Semaphore(max_in_flight)
@@ -456,17 +630,6 @@ class ParallelBlockDecoder:
         #: docstring); folded into ``blocks_skipped``/``bytes_skipped``.
         self._worker_skipped_blocks = 0
         self._worker_skipped_bytes = 0
-        self._workers = [
-            threading.Thread(
-                target=self._worker,
-                args=(i,),
-                name=f"repro-decode-{i}",
-                daemon=True,
-            )
-            for i in range(workers)
-        ]
-        for thread in self._workers:
-            thread.start()
         self._fetcher = threading.Thread(
             target=self._fetch_loop, name="repro-decode-fetch", daemon=True
         )
@@ -476,7 +639,12 @@ class ParallelBlockDecoder:
 
     @property
     def workers(self) -> int:
-        return len(self._workers)
+        return self._codec_pool.workers
+
+    @property
+    def codec_pool(self) -> CodecThreadPool:
+        """The thread pool this decoder's decompress jobs run on."""
+        return self._codec_pool
 
     @property
     def bytes_in(self) -> int:
@@ -543,15 +711,20 @@ class ParallelBlockDecoder:
             with self._cond:
                 seq = self._fetched
                 self._fetched += 1
-            self._jobs.put((seq, frame[0], frame[1]))
+            header, payload = frame
+            self._codec_pool.submit(
+                lambda index, seq=seq, header=header, payload=payload: self._run_job(
+                    index, seq, header, payload
+                )
+            )
             if BUS.active:
                 BUS.publish(
                     PipelineQueueDepth(
                         ts=BUS.now(),
                         source=self._event_source,
-                        depth=self._jobs.qsize(),
+                        depth=self._codec_pool.qsize(),
                         in_flight=seq + 1 - self._next_emit,
-                        workers=len(self._workers),
+                        workers=self._codec_pool.workers,
                     )
                 )
         with self._cond:
@@ -574,42 +747,46 @@ class ParallelBlockDecoder:
             if hasattr(payload, "release"):
                 payload.release()
 
-    def _worker(self, index: int) -> None:
-        while True:
-            job = self._jobs.get()
-            if job is _SHUTDOWN:
-                return
-            seq, header, payload = job
-            try:
-                if BUS.active:
-                    codec_name = self._registry.get(header.codec_id).name
-                    with span(
-                        "pipeline.decompress", worker=index, codec=codec_name
-                    ):
-                        data = self._decode_one(header, payload)
-                else:
+    def _run_job(self, index: int, seq: int, header, payload) -> None:
+        """One decompress job, run on a pool worker thread."""
+        if self._discard:
+            # Aborted while this job sat in a shared pool's queue:
+            # don't burn a worker on a block nobody will read.
+            if hasattr(payload, "release"):
+                payload.release()
+            return
+        try:
+            if BUS.active:
+                codec_name = self._registry.get(header.codec_id).name
+                with span(
+                    "pipeline.decompress", worker=index, codec=codec_name
+                ):
                     data = self._decode_one(header, payload)
-            except CodecError as exc:
-                if self._resync:
-                    # CRC already matched, so this is a post-checksum
-                    # decode failure: count the frame as skipped and
-                    # keep the stream going (see class docstring).
-                    marker = _SkippedFrame(HEADER_SIZE + header.compressed_len)
-                    with self._cond:
-                        self._results[seq] = marker
-                        self._cond.notify_all()
-                else:
-                    with self._cond:
-                        self._latch_error(exc, seq)
-                        self._cond.notify_all()
-            except BaseException as exc:  # noqa: BLE001 - re-raised at call site
+            else:
+                data = self._decode_one(header, payload)
+        except CodecError as exc:
+            if self._resync:
+                # CRC already matched, so this is a post-checksum
+                # decode failure: count the frame as skipped and
+                # keep the stream going (see class docstring).
+                marker = _SkippedFrame(HEADER_SIZE + header.compressed_len)
                 with self._cond:
-                    self._latch_error(exc, seq)
+                    self._results[seq] = marker
                     self._cond.notify_all()
             else:
                 with self._cond:
-                    self._results[seq] = data
+                    self._latch_error(exc, seq)
                     self._cond.notify_all()
+        except BaseException as exc:  # noqa: BLE001 - re-raised at call site
+            with self._cond:
+                self._latch_error(exc, seq)
+                self._cond.notify_all()
+        else:
+            with self._cond:
+                if self._discard:
+                    return
+                self._results[seq] = data
+                self._cond.notify_all()
 
     # -- consumer side ----------------------------------------------
 
@@ -681,14 +858,13 @@ class ParallelBlockDecoder:
 
     def _shutdown_threads(self) -> None:
         self._stop = True
+        self._discard = True
         # Wake the fetcher if it is parked on a full window (one permit
         # is enough: it re-checks ``_stop`` right after acquiring).
         self._window.release()
         self._fetcher.join()
-        for _ in self._workers:
-            self._jobs.put(_SHUTDOWN)
-        for thread in self._workers:
-            thread.join()
+        if self._owns_pool:
+            self._codec_pool.close()
         with self._cond:
             self._results.clear()
 
@@ -716,6 +892,7 @@ def make_block_decoder(
     max_in_flight: Optional[int] = None,
     pool: Optional[BufferPool] = None,
     event_source: str = "decode-pipeline",
+    codec_pool: Optional[CodecThreadPool] = None,
 ) -> Union[BlockReader, ResyncBlockReader, ParallelBlockDecoder]:
     """Serial or parallel block decoder behind one interface.
 
@@ -723,8 +900,22 @@ def make_block_decoder(
     :class:`~repro.codecs.block.BlockReader` or, with ``resync=True``,
     :class:`~repro.core.recovery.ResyncBlockReader` — i.e. exactly
     today's code path with zero threading overhead.  ``workers>1``
-    returns a :class:`ParallelBlockDecoder`.
+    returns a :class:`ParallelBlockDecoder`.  ``codec_pool`` routes
+    decompress jobs to a shared :class:`CodecThreadPool` (always the
+    parallel class then) instead of threads owned by this decoder.
     """
+    if codec_pool is not None:
+        return ParallelBlockDecoder(
+            source,
+            registry,
+            workers=workers if workers > 1 else 0,
+            max_in_flight=max_in_flight,
+            max_block_len=max_block_len,
+            resync=resync,
+            pool=pool,
+            event_source=event_source,
+            codec_pool=codec_pool,
+        )
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if workers == 1:

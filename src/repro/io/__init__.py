@@ -11,9 +11,11 @@ from .faults import (
 )
 from .pipes import BoundedPipe, PipeClosedError, ThrottledPipe
 from .sockets import (
+    DEFAULT_BACKLOG,
     ReceiverError,
     ReceiverThread,
     SocketTransferResult,
+    open_listener,
     run_socket_transfer,
 )
 from .streams import FileCompressionResult, compress_file, decompress_file
@@ -36,6 +38,8 @@ __all__ = [
     "SocketTransferResult",
     "ReceiverThread",
     "ReceiverError",
+    "open_listener",
+    "DEFAULT_BACKLOG",
     "compress_file",
     "decompress_file",
     "FileCompressionResult",

@@ -9,6 +9,13 @@
 * ``info FILE`` — inspect a packed file without decompressing: block
   count, per-codec histogram, ratios (shows which levels the adaptive
   scheme actually chose over the course of the stream).
+* ``serve`` — run a :class:`~repro.serve.TransferServer` daemon: one
+  event loop multiplexing many concurrent compressed flows, with
+  admission control and graceful drain on SIGTERM/SIGINT.
+
+Both entry points exit 130 on Ctrl-C and 0 on a broken output pipe
+(``repro-compress info ... | head`` must not stack-trace), matching
+shell conventions.
 
 ``repro-telemetry`` subcommands:
 
@@ -22,6 +29,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 
 from ..codecs.inspect import scan_block_stream
@@ -74,6 +83,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="inspect a packed file")
     info.add_argument("file")
+
+    serve = sub.add_parser("serve", help="run a multi-flow transfer daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument(
+        "--max-flows", type=int, default=64, help="admission cap on concurrent flows"
+    )
+    serve.add_argument(
+        "--backlog", type=int, default=128, help="listen(2) backlog for the socket"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shared codec worker threads (0 = auto)",
+    )
+    serve.add_argument(
+        "--level",
+        choices=[*PAPER_LEVEL_NAMES, "adaptive"],
+        default="adaptive",
+        help="echo-mode re-encode level (default adaptive, per flow)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.0,
+        help="seconds before an inactive flow is dropped (0 = never)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="grace period for in-flight flows after SIGTERM/SIGINT",
+    )
     return parser
 
 
@@ -120,14 +163,68 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    handlers = {"pack": cmd_pack, "unpack": cmd_unpack, "info": cmd_info}
+def cmd_serve(args: argparse.Namespace) -> int:
+    from ..serve import ServeConfig, TransferServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_flows=args.max_flows,
+        backlog=args.backlog,
+        codec_workers=args.workers,
+        level=args.level,
+        idle_timeout=args.idle_timeout,
+    )
+    server = TransferServer(config)
+
+    def _drain(signum, frame):  # pragma: no cover - signal path
+        server.request_drain(args.drain_timeout)
+
     try:
-        return handlers[args.command](args)
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    host, port = server.address
+    print(f"serving on {host}:{port}", flush=True)
+    server.serve_forever()
+    print(
+        f"drained: {server.flows_completed} completed, "
+        f"{server.flows_failed} failed, {server.flows_rejected} rejected",
+        flush=True,
+    )
+    return 0
+
+
+def _run(handler, args) -> int:
+    """Shared top level: map interrupts and dead pipes to shell codes."""
+    try:
+        return handler(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout's consumer went away (e.g. `... | head`).  Point the fd
+        # at devnull so interpreter-exit flushing cannot trip over it.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):  # no real fd (captured stdout)
+            pass
+        return 0
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "pack": cmd_pack,
+        "unpack": cmd_unpack,
+        "info": cmd_info,
+        "serve": cmd_serve,
+    }
+    return _run(handlers[args.command], args)
 
 
 # -- repro-telemetry ------------------------------------------------
@@ -189,14 +286,15 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
 
 def telemetry_main(argv=None) -> int:
     args = build_telemetry_parser().parse_args(argv)
-    try:
-        return {"report": cmd_telemetry_report}[args.command](args)
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+
+    def handler(ns):
+        try:
+            return {"report": cmd_telemetry_report}[ns.command](ns)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    return _run(handler, args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -55,6 +55,43 @@ PROGRESS_EVERY_BYTES = 8 * 1024 * 1024
 #: Default bound on how long the receiver waits for a connection.
 DEFAULT_ACCEPT_TIMEOUT = 30.0
 
+#: Default listen(2) backlog for listeners opened by this module.
+DEFAULT_BACKLOG = 128
+
+
+def open_listener(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    backlog: int = DEFAULT_BACKLOG,
+    reuse_addr: bool = True,
+) -> socket.socket:
+    """Open a TCP listening socket with test-friendly defaults.
+
+    Every listener this package creates (the one-shot
+    :class:`ReceiverThread` and the :mod:`repro.serve` daemon) goes
+    through here so they share two properties the raw
+    ``socket.create_server`` call does not guarantee on every platform:
+    ``SO_REUSEADDR`` is set *explicitly* (rapidly restarted tests and
+    daemons must not trip over the previous instance's TIME_WAIT
+    sockets with ``EADDRINUSE``), and the ``listen(2)`` ``backlog`` is
+    a visible knob instead of a hidden default — a daemon expecting a
+    thundering herd of connects wants it deep, a single-transfer
+    receiver can keep it tiny.
+    """
+    if backlog < 1:
+        raise ValueError("backlog must be >= 1")
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        if reuse_addr:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(backlog)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
 
 class VectoredSocketWriter:
     """File-like socket sink with vectored (``sendmsg``) frame writes.
@@ -175,10 +212,11 @@ class ReceiverThread(threading.Thread):
         decode_workers: int = 1,
         accept_timeout: Optional[float] = DEFAULT_ACCEPT_TIMEOUT,
         recv_timeout: Optional[float] = None,
+        backlog: int = DEFAULT_BACKLOG,
     ) -> None:
         super().__init__(name="repro-receiver", daemon=True)
         self._stopped = False
-        self._listener = socket.create_server((host, 0))
+        self._listener = open_listener(host, backlog=backlog)
         self._listener.settimeout(accept_timeout)
         self._recv_timeout = recv_timeout
         self._resync = resync
@@ -298,6 +336,7 @@ def run_socket_transfer(
     recv_timeout: Optional[float] = None,
     accept_timeout: Optional[float] = DEFAULT_ACCEPT_TIMEOUT,
     join_timeout: float = 60.0,
+    backlog: int = DEFAULT_BACKLOG,
     wrap_sink: Optional[Callable[[BinaryIO], BinaryIO]] = None,
 ) -> SocketTransferResult:
     """Send ``source`` over a real localhost TCP connection.
@@ -320,7 +359,10 @@ def run_socket_transfer(
     Robustness knobs: ``connect_policy`` retries the connect with
     exponential backoff (default :class:`RetryPolicy()`);
     ``send_timeout``/``recv_timeout``/``accept_timeout`` bound every
-    socket wait; ``resync=True`` makes the receiver skip damaged
+    socket wait; ``backlog`` sizes the receiver's listen queue (the
+    listener always sets ``SO_REUSEADDR`` via :func:`open_listener`, so
+    rapid restarts never hit ``EADDRINUSE``); ``resync=True`` makes the
+    receiver skip damaged
     blocks (reported via ``blocks_skipped``/``bytes_skipped``) instead
     of failing.  ``wrap_sink`` wraps the sender's wire-side file object
     — the hook the fault-injection harness uses to corrupt, stall or
@@ -337,6 +379,7 @@ def run_socket_transfer(
         decode_workers=decode_workers,
         accept_timeout=accept_timeout,
         recv_timeout=recv_timeout,
+        backlog=backlog,
     )
     receiver.start()
     policy = connect_policy if connect_policy is not None else RetryPolicy()

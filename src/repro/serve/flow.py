@@ -1,0 +1,523 @@
+"""Per-connection transfer state machine for the serve event loop.
+
+One :class:`Flow` instance tracks one accepted client connection from
+handshake to teardown::
+
+    HANDSHAKING --hello parsed--> STREAMING --client half-close-->
+    DRAINING --codec jobs drained, trailer flushed--> CLOSED
+
+A flow owns **no threads**.  All of its methods run on the server's
+single event-loop thread, except the two codec job bodies
+(:meth:`_decode_job`/:meth:`_encode_job`) which the shared
+:class:`~repro.core.pipeline.CodecThreadPool` executes; those only
+touch the result dictionaries under the flow's lock and then call the
+server's ``notify`` callback, so the loop thread remains the only
+place where state advances.  The loop calls :meth:`handle_read` /
+:meth:`handle_write` on selector readiness and :meth:`pump` after any
+readiness or job completion; ``pump`` is idempotent and drives every
+transition.
+
+Ordering mirrors the pipelines in :mod:`repro.core.pipeline`: decode
+and re-encode jobs complete on whatever worker frees up first, and the
+flow reassembles both strictly in submission order, so the plaintext
+CRC and (in echo mode) the response stream are deterministic
+regardless of scheduling.  Backpressure is two-sided and per flow: the
+flow stops reading its socket while ``decode_in_flight`` exceeds the
+block window or the pending write queue exceeds the byte cap, which
+lets TCP push back on a client outrunning the shared codec pool
+without stalling anybody else's flow.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from enum import Enum
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..codecs.block import (
+    HEADER_SIZE,
+    MAGIC,
+    decode_header,
+    decode_payload,
+    encode_block,
+)
+from ..codecs.errors import CodecError
+from ..codecs.registry import DEFAULT_REGISTRY
+from ..core.buffers import BufferPool
+from ..core.controller import AdaptiveController
+from ..core.levels import CompressionLevelTable
+from ..core.pipeline import CodecThreadPool
+from ..telemetry.events import BUS, TransferProgress
+from ..telemetry.spans import span
+from .protocol import (
+    MODE_ECHO,
+    MODE_SINK,
+    ProtocolError,
+    encode_control,
+    parse_hello,
+)
+
+__all__ = ["Flow", "FlowState"]
+
+#: Decoded application bytes between per-flow TransferProgress events.
+PROGRESS_EVERY_BYTES = 8 * 1024 * 1024
+
+#: Upper bound a client may request as the echo re-encode block size.
+MAX_CLIENT_BLOCK_SIZE = 4 * 1024 * 1024
+
+
+class FlowState(Enum):
+    """Lifecycle of a served flow (see module docstring)."""
+
+    HANDSHAKING = "handshaking"
+    STREAMING = "streaming"
+    DRAINING = "draining"
+    CLOSED = "closed"
+
+
+class Flow:
+    """State machine for one accepted connection (loop thread only)."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        sock,
+        peer: str,
+        *,
+        levels: CompressionLevelTable,
+        codec_pool: CodecThreadPool,
+        buffer_pool: BufferPool,
+        notify: Callable[["Flow"], None],
+        default_level: Optional[int] = None,
+        default_block_size: int = 128 * 1024,
+        epoch_seconds: float = 0.25,
+        alpha: float = 0.2,
+        max_inflight_blocks: int = 4,
+        max_write_buffer: int = 1 << 20,
+        max_block_len: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.flow_id = flow_id
+        self.sock = sock
+        self.peer = peer
+        self.state = FlowState.HANDSHAKING
+        self.mode = ""
+        self._levels = levels
+        self._registry = DEFAULT_REGISTRY
+        self._codec_pool = codec_pool
+        self._buffer_pool = buffer_pool
+        self._notify = notify
+        self._default_level = default_level
+        self._default_block_size = default_block_size
+        self._epoch_seconds = epoch_seconds
+        self._alpha = alpha
+        self._max_inflight = max_inflight_blocks
+        self._max_write_buffer = max_write_buffer
+        self._max_block_len = max_block_len
+        self._clock = clock
+
+        self._lock = threading.Lock()
+        self._rx = bytearray()
+        self._eof = False
+        #: seq -> bytes | BaseException (decode), filled by pool workers.
+        self._decode_results: Dict[int, object] = {}
+        self._decode_submitted = 0
+        self._decode_emitted = 0
+        #: seq -> EncodedBlock | BaseException (echo re-encode).
+        self._encode_results: Dict[int, object] = {}
+        self._encode_submitted = 0
+        self._encode_emitted = 0
+        #: (buffer, releasable-owner-or-None) pairs awaiting send.
+        self._out: Deque[Tuple[object, Optional[object]]] = deque()
+        self._out_offset = 0
+        self._out_bytes = 0
+        self._trailer_queued = False
+
+        # Echo mode: per-flow adaptive scheme instance, created when
+        # the hello names the mode (see _apply_hello).
+        self.controller: Optional[AdaptiveController] = None
+        self._echo_static_level: Optional[int] = None
+        self._echo_block_size = default_block_size
+
+        # Counters (loop thread only).
+        self.wire_bytes_in = 0
+        self.bytes_out = 0
+        self.app_bytes = 0
+        self.blocks_in = 0
+        self.blocks_out = 0
+        self.crc32 = 0
+        self.opened_at = clock()
+        self.last_activity = self.opened_at
+        self._next_progress = PROGRESS_EVERY_BYTES
+
+        self.failure: Optional[str] = None
+
+    # -- readiness ---------------------------------------------------
+
+    @property
+    def decode_in_flight(self) -> int:
+        return self._decode_submitted - self._decode_emitted
+
+    @property
+    def encode_in_flight(self) -> int:
+        return self._encode_submitted - self._encode_emitted
+
+    @property
+    def wants_read(self) -> bool:
+        if self._eof or self.state not in (FlowState.HANDSHAKING, FlowState.STREAMING):
+            return False
+        return (
+            self.decode_in_flight < self._max_inflight
+            and self._out_bytes < self._max_write_buffer
+        )
+
+    @property
+    def wants_write(self) -> bool:
+        return bool(self._out) and self.state is not FlowState.CLOSED
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    # -- socket side (loop thread) -----------------------------------
+
+    def handle_read(self, chunk_bytes: int = 256 * 1024) -> None:
+        """Pull available bytes off the socket into the parse buffer.
+
+        Parsing happens in :meth:`pump` (which the loop always calls
+        after readiness), so a burst of reads can never submit past the
+        per-flow decode window, and an EOF with complete-but-unparsed
+        frames still buffered is not mistaken for truncation.
+        """
+        if self._eof or self.state in (FlowState.DRAINING, FlowState.CLOSED):
+            return
+        try:
+            data = self.sock.recv(chunk_bytes)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            self.fail(f"recv-error: {exc}")
+            return
+        self.last_activity = self._clock()
+        if not data:
+            self._eof = True
+            if self.state is FlowState.HANDSHAKING:
+                self.fail("eof-during-handshake")
+            return
+        self.wire_bytes_in += len(data)
+        self._rx.extend(data)
+
+    def handle_write(self, quantum: int = 256 * 1024) -> int:
+        """Send up to ``quantum`` queued bytes; returns bytes sent.
+
+        The quantum is the fairness unit: the server loop gives every
+        writable flow one bounded turn per iteration, so a fat flow
+        with a fast consumer cannot monopolise the loop thread.
+        """
+        sent_total = 0
+        while self._out and sent_total < quantum:
+            buf, owner = self._out[0]
+            with memoryview(buf) as whole:
+                view = whole[self._out_offset :]
+                budget = min(view.nbytes, quantum - sent_total)
+                try:
+                    sent = self.sock.send(view[:budget])
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError as exc:
+                    self.fail(f"send-error: {exc}")
+                    return sent_total
+                self._out_offset += sent
+                sent_total += sent
+                self.bytes_out += sent
+                done = self._out_offset == whole.nbytes
+            if done:
+                self._out.popleft()
+                self._out_offset = 0
+                if owner is not None:
+                    owner.release()
+            if sent < budget:
+                break
+        if sent_total:
+            self.last_activity = self._clock()
+            self._out_bytes -= sent_total
+        return sent_total
+
+    # -- handshake ---------------------------------------------------
+
+    def _parse_hello(self) -> None:
+        parsed = parse_hello(self._rx)
+        if parsed is None:
+            return
+        hello, consumed = parsed
+        del self._rx[:consumed]
+        self._apply_hello(hello.mode, hello.params)
+        self._queue(encode_control({"ok": True, "flow_id": self.flow_id, "mode": self.mode}))
+        self.state = FlowState.STREAMING
+
+    def _apply_hello(self, mode: str, params: dict) -> None:
+        self.mode = mode
+        block_size = params.get("block_size", self._default_block_size)
+        if not isinstance(block_size, int) or not 1 <= block_size <= MAX_CLIENT_BLOCK_SIZE:
+            raise ProtocolError(f"bad block_size {block_size!r}")
+        self._echo_block_size = block_size
+        level = params.get("level", None)
+        if level is None:
+            self._echo_static_level = self._default_level
+        elif level == "adaptive":
+            self._echo_static_level = None
+        elif isinstance(level, str):
+            try:
+                self._echo_static_level = self._levels.index_of(level)
+            except (KeyError, ValueError) as exc:
+                raise ProtocolError(f"unknown level {level!r}") from exc
+        else:
+            raise ProtocolError(f"bad level {level!r}")
+        if mode == MODE_ECHO:
+            # The per-flow adaptive scheme instance: each flow re-decides
+            # its own re-encode level from its own achieved rate.
+            self.controller = AdaptiveController(
+                n_levels=len(self._levels),
+                epoch_seconds=self._epoch_seconds,
+                alpha=self._alpha,
+                clock_start=self._clock(),
+            )
+
+    def _reject_handshake(self, reason: str) -> None:
+        """Best-effort error control frame, then fail the flow."""
+        try:
+            self.sock.send(encode_control({"ok": False, "error": reason}))
+        except OSError:
+            pass
+        self.fail(f"handshake-rejected: {reason}")
+
+    # -- frame parsing / decode submission ---------------------------
+
+    def _parse_frames(self) -> None:
+        while True:
+            if self.decode_in_flight >= self._max_inflight:
+                return
+            have = len(self._rx)
+            if have < HEADER_SIZE:
+                if have and not MAGIC.startswith(bytes(self._rx[: len(MAGIC)])):
+                    raise ProtocolError(f"bad block magic {bytes(self._rx[:2])!r}")
+                return
+            header = decode_header(self._rx, max_len=self._max_block_len)
+            need = HEADER_SIZE + header.compressed_len
+            if have < need:
+                return
+            payload = self._buffer_pool.acquire(header.compressed_len)
+            payload.view[:] = memoryview(self._rx)[HEADER_SIZE:need]
+            del self._rx[:need]
+            seq = self._decode_submitted
+            self._decode_submitted += 1
+            self._codec_pool.submit(
+                lambda index, seq=seq, header=header, payload=payload: self._decode_job(
+                    index, seq, header, payload
+                )
+            )
+
+    # -- codec job bodies (pool worker threads) ----------------------
+
+    def _decode_job(self, index: int, seq: int, header, payload) -> None:
+        try:
+            if BUS.active:
+                codec = self._registry.get(header.codec_id).name
+                with span("serve.decode", worker=index, codec=codec):
+                    data = decode_payload(header, payload.view, self._registry)
+            else:
+                data = decode_payload(header, payload.view, self._registry)
+        except BaseException as exc:  # noqa: BLE001 - latched into the flow
+            result: object = exc
+        else:
+            result = data
+        finally:
+            payload.release()
+        with self._lock:
+            self._decode_results[seq] = result
+        self._notify(self)
+
+    def _encode_job(self, index: int, seq: int, data: bytes, codec) -> None:
+        try:
+            if BUS.active:
+                with span("serve.encode", worker=index, codec=codec.name):
+                    block = encode_block(data, codec, pool=self._buffer_pool)
+            else:
+                block = encode_block(data, codec, pool=self._buffer_pool)
+        except BaseException as exc:  # noqa: BLE001 - latched into the flow
+            result: object = exc
+        else:
+            result = block
+        with self._lock:
+            self._encode_results[seq] = result
+        self._notify(self)
+
+    # -- state advancement (loop thread) -----------------------------
+
+    def pump(self) -> None:
+        """Drain completed codec jobs in order and advance the state.
+
+        Idempotent; called by the server loop after socket readiness
+        and after every job-completion notification.
+        """
+        if self.state is FlowState.CLOSED:
+            self._discard_results()
+            return
+        self._drain_decodes()
+        if self.state is FlowState.CLOSED:
+            return
+        self._parse_buffered()
+        if self.state is FlowState.CLOSED:
+            return
+        self._drain_encodes()
+        if self.state is FlowState.CLOSED:
+            return
+        if (
+            self.state is FlowState.DRAINING
+            and not self._trailer_queued
+            and self.decode_in_flight == 0
+            and self.encode_in_flight == 0
+        ):
+            self._queue(encode_control(self._trailer_body()))
+            self._trailer_queued = True
+        if self._trailer_queued and not self._out:
+            self.state = FlowState.CLOSED
+
+    def _parse_buffered(self) -> None:
+        """Parse buffered bytes as far as state and the window allow."""
+        try:
+            if self.state is FlowState.HANDSHAKING:
+                self._parse_hello()
+            if self.state is FlowState.STREAMING:
+                self._parse_frames()
+        except ProtocolError as exc:
+            if self.state is FlowState.HANDSHAKING:
+                self._reject_handshake(str(exc))
+            else:
+                self.fail(f"bad-frame: {exc}")
+            return
+        except CodecError as exc:
+            self.fail(f"bad-frame: {exc}")
+            return
+        if self.state is FlowState.STREAMING and self._eof:
+            if not self._rx:
+                self.state = FlowState.DRAINING
+            elif self.decode_in_flight < self._max_inflight:
+                # Parsing stopped for lack of bytes, not backpressure:
+                # the peer half-closed mid-frame.
+                self.fail(f"truncated-frame-at-eof ({len(self._rx)} bytes)")
+
+    def _drain_decodes(self) -> None:
+        while True:
+            with self._lock:
+                if self._decode_emitted not in self._decode_results:
+                    return
+                result = self._decode_results.pop(self._decode_emitted)
+            self._decode_emitted += 1
+            if isinstance(result, BaseException):
+                self.fail(f"decode-error: {result!r}")
+                return
+            data: bytes = result  # type: ignore[assignment]
+            self.blocks_in += 1
+            self.app_bytes += len(data)
+            self.crc32 = zlib.crc32(data, self.crc32) & 0xFFFFFFFF
+            if self.controller is not None:
+                self.controller.record(len(data))
+                self.controller.poll(self._clock())
+            if BUS.active and self.app_bytes >= self._next_progress:
+                self._next_progress = self.app_bytes + PROGRESS_EVERY_BYTES
+                BUS.publish(
+                    TransferProgress(
+                        ts=BUS.now(),
+                        source=f"serve.flow{self.flow_id}",
+                        bytes_in=self.wire_bytes_in,
+                        bytes_out=self.bytes_out,
+                        ratio=self.wire_bytes_in / self.app_bytes
+                        if self.app_bytes
+                        else 1.0,
+                    )
+                )
+            if self.mode == MODE_ECHO:
+                self._submit_echo(data)
+
+    def _submit_echo(self, data: bytes) -> None:
+        if self._echo_static_level is not None:
+            level = self._echo_static_level
+        else:
+            level = self.controller.current_level if self.controller else 0
+        codec = self._levels.codec(level)
+        seq = self._encode_submitted
+        self._encode_submitted += 1
+        self._codec_pool.submit(
+            lambda index, seq=seq, data=data, codec=codec: self._encode_job(
+                index, seq, data, codec
+            )
+        )
+
+    def _drain_encodes(self) -> None:
+        while True:
+            with self._lock:
+                if self._encode_emitted not in self._encode_results:
+                    return
+                result = self._encode_results.pop(self._encode_emitted)
+            self._encode_emitted += 1
+            if isinstance(result, BaseException):
+                self.fail(f"encode-error: {result!r}")
+                return
+            block = result
+            self.blocks_out += 1
+            self._queue(block.frame, owner=block)
+
+    def _trailer_body(self) -> dict:
+        return {
+            "ok": True,
+            "flow_id": self.flow_id,
+            "mode": self.mode,
+            "app_bytes": self.app_bytes,
+            "wire_bytes_in": self.wire_bytes_in,
+            "blocks_in": self.blocks_in,
+            "blocks_out": self.blocks_out,
+            "crc32": self.crc32,
+            "epochs": len(self.controller.trace) if self.controller else 0,
+        }
+
+    # -- teardown ----------------------------------------------------
+
+    def fail(self, reason: str) -> None:
+        """Mark the flow failed and drop everything still queued."""
+        if self.failure is None:
+            self.failure = reason
+        self.state = FlowState.CLOSED
+        while self._out:
+            _, owner = self._out.popleft()
+            if owner is not None:
+                owner.release()
+        self._out_offset = 0
+        self._out_bytes = 0
+        self._discard_results()
+
+    def _discard_results(self) -> None:
+        """Release pool-backed results that will never be emitted."""
+        with self._lock:
+            decode_results, self._decode_results = self._decode_results, {}
+            encode_results, self._encode_results = self._encode_results, {}
+        self._decode_emitted += len(decode_results)
+        self._encode_emitted += len(encode_results)
+        for result in encode_results.values():
+            if hasattr(result, "release"):
+                result.release()
+
+    # -- helpers -----------------------------------------------------
+
+    def _queue(self, buf, owner: Optional[object] = None) -> None:
+        self._out.append((buf, owner))
+        self._out_bytes += memoryview(buf).nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Flow {self.flow_id} {self.mode or '?'} {self.state.value}"
+            f" in={self.app_bytes} out={self.bytes_out}>"
+        )

@@ -1,0 +1,547 @@
+"""Selector-based connection manager multiplexing many adaptive flows.
+
+:class:`TransferServer` is the daemon side of the serve subsystem: one
+event-loop thread owns every socket (listener + all accepted flows) via
+``selectors.DefaultSelector``, and one shared
+:class:`~repro.core.pipeline.CodecThreadPool` plus one shared
+:class:`~repro.core.buffers.BufferPool` execute the codec work of *all*
+flows.  Accepting the 17th flow therefore costs a socket and a
+:class:`~repro.serve.flow.Flow` object — never another thread, which is
+what lets one daemon hold the paper's "many concurrent transfers on one
+shared bottleneck" scenario without thread-per-transfer explosion.
+
+Responsibilities split cleanly:
+
+* the **flow** (``flow.py``) parses frames, submits codec jobs, and
+  reassembles results in order;
+* the **server** (this module) decides *who runs when*: admission
+  control at accept time (max-flows cap plus shared-queue depth
+  backpressure), round-robin write scheduling with a per-turn byte
+  quantum so no flow monopolises the loop, selector interest updates
+  driven by each flow's ``wants_read``/``wants_write``, and graceful
+  drain — stop accepting, finish in-flight flows, then exit (with a
+  deadline after which stragglers are force-closed).
+
+Worker threads never touch sockets or the selector; when a codec job
+completes they enqueue the flow on a pending list and poke a waker
+socketpair, and the loop thread pumps the flow on its next pass.  Every
+lifecycle edge publishes telemetry (``FlowAccepted`` / ``FlowClosed`` /
+``FlowRejected``) alongside shared-pool counter snapshots
+(``PipelineQueueDepth``, ``BufferPoolStats``), all guarded on
+``BUS.active`` so an un-instrumented daemon pays nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from itertools import count
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..core.buffers import BufferPool
+from ..core.levels import CompressionLevelTable, default_level_table
+from ..core.pipeline import CodecThreadPool
+from ..io.sockets import DEFAULT_BACKLOG, open_listener
+from ..telemetry.events import (
+    BUS,
+    BufferPoolStats,
+    FlowAccepted,
+    FlowClosed,
+    FlowRejected,
+    PipelineQueueDepth,
+)
+from .flow import Flow, FlowState
+from .protocol import encode_control
+
+__all__ = ["ServeConfig", "TransferServer"]
+
+
+def _default_workers() -> int:
+    return max(2, min(4, os.cpu_count() or 2))
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of a :class:`TransferServer`.
+
+    ``max_flows`` and ``max_queued_jobs`` are the two admission knobs:
+    the first caps concurrent connections outright, the second rejects
+    new flows while the *shared* codec queue is already deeper than the
+    given bound (0 disables that check).  The per-flow knobs
+    (``max_inflight_blocks_per_flow``, ``max_write_buffer``,
+    ``write_quantum``) bound how much of the shared pool and of the
+    loop's attention any single flow can hold.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_flows: int = 64
+    backlog: int = DEFAULT_BACKLOG
+    codec_workers: int = 0  # 0 → min(4, cpu count), at least 2
+    max_queued_jobs: int = 0  # 0 → no queue-depth admission check
+    max_inflight_blocks_per_flow: int = 4
+    max_write_buffer: int = 1 << 20
+    write_quantum: int = 256 * 1024
+    recv_chunk: int = 256 * 1024
+    idle_timeout: float = 0.0  # seconds; 0 → never time a flow out
+    level: Optional[str] = None  # echo re-encode level name; None → adaptive
+    block_size: int = 128 * 1024
+    epoch_seconds: float = 0.25
+    alpha: float = 0.2
+    max_block_len: Optional[int] = None
+    poll_interval: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_flows < 1:
+            raise ValueError("max_flows must be >= 1")
+        if self.max_inflight_blocks_per_flow < 1:
+            raise ValueError("max_inflight_blocks_per_flow must be >= 1")
+        if self.write_quantum < 1 or self.max_write_buffer < 1:
+            raise ValueError("write_quantum and max_write_buffer must be >= 1")
+
+
+class TransferServer:
+    """One event loop serving many concurrent compressed flows.
+
+    Usage::
+
+        server = TransferServer(ServeConfig(port=0))
+        server.start()                     # loop runs on its own thread
+        host, port = server.address
+        ...clients connect...
+        server.stop(drain=True, timeout=10.0)
+
+    or run the loop on the calling thread with :meth:`serve_forever`
+    (the CLI does, so signal handlers can call :meth:`request_drain`).
+    """
+
+    TELEMETRY_SOURCE = "serve"
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        levels: Optional[CompressionLevelTable] = None,
+        codec_pool: Optional[CodecThreadPool] = None,
+        buffer_pool: Optional[BufferPool] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._levels = levels or default_level_table()
+        self._clock = clock
+        workers = self.config.codec_workers or _default_workers()
+        self._codec_pool = codec_pool or CodecThreadPool(workers, name="repro-serve-codec")
+        self._owns_codec_pool = codec_pool is None
+        self._buffer_pool = buffer_pool or BufferPool()
+        default_level = (
+            None if self.config.level in (None, "adaptive")
+            else self._levels.index_of(self.config.level)
+        )
+        self._default_level = default_level
+
+        # Bind in the constructor so tests can read ``address`` (and
+        # clients can connect; the backlog holds them) before the loop
+        # thread has spun up.
+        self._listener = open_listener(
+            self.config.host, self.config.port, backlog=self.config.backlog
+        )
+        self._listener.setblocking(False)
+        self.address = self._listener.getsockname()
+
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._waker_w.setblocking(False)
+
+        self._flows: Dict[int, Flow] = {}  # flow_id -> Flow
+        self._masks: Dict[int, int] = {}  # flow_id -> registered selector mask
+        self._announced: set = set()  # flow_ids with FlowAccepted published
+        self._flow_ids = count(1)
+        self._pending: Deque[Flow] = deque()
+        self._pending_lock = threading.Lock()
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._thread: Optional[threading.Thread] = None
+        self._draining = False
+        self._drain_deadline: Optional[float] = None
+        self._stop_now = False
+        self._rr = 0
+        self._running = threading.Event()
+        self._finished = threading.Event()
+        self._closed = False
+
+        # Lifetime counters (loop thread writes, anyone reads).
+        self.flows_accepted = 0
+        self.flows_rejected = 0
+        self.flows_completed = 0
+        self.flows_failed = 0
+
+    # -- shared substrate (exposed for tests and telemetry) ----------
+
+    @property
+    def codec_pool(self) -> CodecThreadPool:
+        """The one pool every flow's codec jobs run on."""
+        return self._codec_pool
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        """The one slab pool backing every flow's payload buffers."""
+        return self._buffer_pool
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> "TransferServer":
+        """Run the loop on a daemon thread; returns once it is live."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._running.wait(timeout=5.0)
+        return self
+
+    def request_drain(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting; let in-flight flows finish (signal-safe)."""
+        self._draining = True
+        if timeout is not None:
+            self._drain_deadline = self._clock() + timeout
+        self._wake()
+
+    def request_stop(self) -> None:
+        """Abandon everything and exit the loop as soon as possible."""
+        self._stop_now = True
+        self._wake()
+
+    def stop(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut down and join the loop thread (started via :meth:`start`)."""
+        if drain:
+            self.request_drain(timeout)
+        else:
+            self.request_stop()
+        finished = self._finished.wait(
+            timeout=None if timeout is None else timeout + 5.0
+        )
+        if not finished:
+            self.request_stop()
+            self._finished.wait(timeout=5.0)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def serve_forever(self) -> None:
+        """The event loop; blocks until drained or stopped."""
+        sel = selectors.DefaultSelector()
+        self._selector = sel
+        sel.register(self._listener, selectors.EVENT_READ, "listener")
+        sel.register(self._waker_r, selectors.EVENT_READ, "waker")
+        listener_open = True
+        self._running.set()
+        try:
+            while True:
+                if self._stop_now:
+                    break
+                if self._draining:
+                    if listener_open:
+                        sel.unregister(self._listener)
+                        self._listener.close()
+                        listener_open = False
+                    if not self._flows:
+                        break
+                touched: List[Flow] = []
+                writable: List[Flow] = []
+                for key, mask in sel.select(self.config.poll_interval):
+                    tag = key.data
+                    if tag == "listener":
+                        self._accept_ready()
+                    elif tag == "waker":
+                        self._drain_waker()
+                    else:
+                        flow: Flow = tag
+                        if mask & selectors.EVENT_READ:
+                            flow.handle_read(self.config.recv_chunk)
+                            touched.append(flow)
+                        if mask & selectors.EVENT_WRITE:
+                            writable.append(flow)
+                # Round-robin write scheduling: rotate the service order
+                # every pass and cap each flow at write_quantum bytes.
+                if writable:
+                    self._rr = (self._rr + 1) % len(writable)
+                    for flow in writable[self._rr :] + writable[: self._rr]:
+                        flow.handle_write(self.config.write_quantum)
+                        touched.append(flow)
+                with self._pending_lock:
+                    while self._pending:
+                        touched.append(self._pending.popleft())
+                self._advance(touched)
+                self._check_timeouts()
+        finally:
+            self._running.set()
+            try:
+                self._teardown(listener_open)
+            finally:
+                self._finished.set()
+
+    # -- loop internals ----------------------------------------------
+
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                conn, addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            reason = self._admission_reason()
+            if reason is not None:
+                self._reject(conn, reason)
+                continue
+            conn.setblocking(False)
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+            flow_id = next(self._flow_ids)
+            flow = Flow(
+                flow_id,
+                conn,
+                peer=f"{addr[0]}:{addr[1]}" if isinstance(addr, tuple) else str(addr),
+                levels=self._levels,
+                codec_pool=self._codec_pool,
+                buffer_pool=self._buffer_pool,
+                notify=self._notify,
+                default_level=self._default_level,
+                default_block_size=self.config.block_size,
+                epoch_seconds=self.config.epoch_seconds,
+                alpha=self.config.alpha,
+                max_inflight_blocks=self.config.max_inflight_blocks_per_flow,
+                max_write_buffer=self.config.max_write_buffer,
+                max_block_len=self.config.max_block_len,
+                clock=self._clock,
+            )
+            self._flows[flow_id] = flow
+            self._masks[flow_id] = 0
+            self.flows_accepted += 1
+            self._update_interest(flow)
+
+    def _admission_reason(self) -> Optional[str]:
+        if self._draining:
+            return "draining"
+        if len(self._flows) >= self.config.max_flows:
+            return "max-flows"
+        limit = self.config.max_queued_jobs
+        if limit and self._codec_pool.qsize() >= limit:
+            return "codec-queue-full"
+        return None
+
+    def _reject(self, conn: socket.socket, reason: str) -> None:
+        self.flows_rejected += 1
+        try:
+            conn.send(encode_control({"ok": False, "error": reason}))
+            # Consume whatever hello bytes already arrived so close()
+            # does not RST the reject frame out of the peer's buffer.
+            conn.setblocking(False)
+            try:
+                conn.recv(64 * 1024)
+            except (BlockingIOError, OSError):
+                pass
+        except OSError:
+            pass
+        finally:
+            conn.close()
+        if BUS.active:
+            BUS.publish(
+                FlowRejected(
+                    ts=BUS.now(),
+                    source=self.TELEMETRY_SOURCE,
+                    reason=reason,
+                    active_flows=len(self._flows),
+                )
+            )
+
+    def _drain_waker(self) -> None:
+        while True:
+            try:
+                if not self._waker_r.recv(4096):
+                    return
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+
+    def _notify(self, flow: Flow) -> None:
+        """Called by codec-pool workers when a flow's job completes."""
+        with self._pending_lock:
+            self._pending.append(flow)
+        self._wake()
+
+    def _wake(self) -> None:
+        try:
+            self._waker_w.send(b"\0")
+        except (BlockingIOError, InterruptedError):
+            pass  # pipe already full: the loop is awake anyway
+        except OSError:
+            pass  # shutting down
+
+    def _advance(self, touched: List[Flow]) -> None:
+        seen = set()
+        for flow in touched:
+            if flow.flow_id in seen or flow.flow_id not in self._flows:
+                continue
+            seen.add(flow.flow_id)
+            flow.pump()
+            if flow.flow_id in self._announced:
+                pass
+            elif flow.state is not FlowState.HANDSHAKING and flow.ok:
+                self._announce(flow)
+            if flow.state is FlowState.CLOSED:
+                self._close_flow(flow)
+            else:
+                self._update_interest(flow)
+
+    def _announce(self, flow: Flow) -> None:
+        self._announced.add(flow.flow_id)
+        if BUS.active:
+            BUS.publish(
+                FlowAccepted(
+                    ts=BUS.now(),
+                    source=self.TELEMETRY_SOURCE,
+                    flow_id=flow.flow_id,
+                    peer=flow.peer,
+                    mode=flow.mode,
+                    active_flows=len(self._flows),
+                )
+            )
+
+    def _update_interest(self, flow: Flow) -> None:
+        mask = 0
+        if flow.wants_read:
+            mask |= selectors.EVENT_READ
+        if flow.wants_write:
+            mask |= selectors.EVENT_WRITE
+        old = self._masks.get(flow.flow_id, 0)
+        if mask == old:
+            return
+        sel = self._selector
+        assert sel is not None
+        if old == 0:
+            sel.register(flow.sock, mask, flow)
+        elif mask == 0:
+            sel.unregister(flow.sock)
+        else:
+            sel.modify(flow.sock, mask, flow)
+        self._masks[flow.flow_id] = mask
+
+    def _check_timeouts(self) -> None:
+        now = self._clock()
+        victims: List[Flow] = []
+        if self._draining and self._drain_deadline is not None and now >= self._drain_deadline:
+            victims.extend(self._flows.values())
+            reason = "drain-deadline"
+        elif self.config.idle_timeout:
+            reason = "idle-timeout"
+            for flow in self._flows.values():
+                if now - flow.last_activity >= self.config.idle_timeout:
+                    victims.append(flow)
+        else:
+            return
+        for flow in list(victims):
+            flow.fail(reason)
+            self._close_flow(flow)
+
+    def _close_flow(self, flow: Flow) -> None:
+        if self._masks.get(flow.flow_id, 0) != 0 and self._selector is not None:
+            try:
+                self._selector.unregister(flow.sock)
+            except (KeyError, ValueError):  # pragma: no cover - defensive
+                pass
+        self._masks.pop(flow.flow_id, None)
+        self._flows.pop(flow.flow_id, None)
+        try:
+            flow.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if flow.ok:
+            self.flows_completed += 1
+        else:
+            self.flows_failed += 1
+        if BUS.active:
+            now = BUS.now()
+            BUS.publish(
+                FlowClosed(
+                    ts=now,
+                    source=self.TELEMETRY_SOURCE,
+                    flow_id=flow.flow_id,
+                    mode=flow.mode,
+                    ok=flow.ok,
+                    reason=flow.failure or "completed",
+                    bytes_in=flow.wire_bytes_in,
+                    bytes_out=flow.bytes_out,
+                    app_bytes=flow.app_bytes,
+                    blocks_in=flow.blocks_in,
+                    blocks_out=flow.blocks_out,
+                    seconds=self._clock() - flow.opened_at,
+                    active_flows=len(self._flows),
+                )
+            )
+            self._publish_pool_stats(now)
+
+    def _publish_pool_stats(self, ts: float) -> None:
+        pool = self._codec_pool
+        BUS.publish(
+            PipelineQueueDepth(
+                ts=ts,
+                source=f"{self.TELEMETRY_SOURCE}-codec",
+                depth=pool.qsize(),
+                in_flight=pool.in_flight,
+                workers=pool.workers,
+            )
+        )
+        stats = self._buffer_pool.stats()
+        BUS.publish(
+            BufferPoolStats(
+                ts=ts,
+                source=self.TELEMETRY_SOURCE,
+                hits=stats["hits"],
+                misses=stats["misses"],
+                oversize=stats["oversize"],
+                free_slabs=stats["free_slabs"],
+            )
+        )
+
+    def _teardown(self, listener_open: bool) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for flow in list(self._flows.values()):
+            if flow.state is not FlowState.CLOSED:
+                flow.fail("server-stopped")
+            self._close_flow(flow)
+        sel = self._selector
+        if sel is not None:
+            try:
+                sel.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if listener_open:
+            self._listener.close()
+        self._waker_r.close()
+        self._waker_w.close()
+        if BUS.active:
+            self._publish_pool_stats(BUS.now())
+        if self._owns_codec_pool:
+            self._codec_pool.close()
+
+    # -- context manager ---------------------------------------------
+
+    def __enter__(self) -> "TransferServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None, timeout=10.0)

@@ -32,6 +32,9 @@ from .events import (
     EpochClosed,
     EventBus,
     FaultInjected,
+    FlowAccepted,
+    FlowClosed,
+    FlowRejected,
     LevelSwitched,
     PipelineQueueDepth,
     SpanClosed,
@@ -69,6 +72,9 @@ __all__ = [
     "BackoffUpdated",
     "FaultInjected",
     "BlockSkipped",
+    "FlowAccepted",
+    "FlowClosed",
+    "FlowRejected",
     "SpanClosed",
     "EventBus",
     "BUS",

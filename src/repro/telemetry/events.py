@@ -36,6 +36,9 @@ __all__ = [
     "BackoffUpdated",
     "FaultInjected",
     "BlockSkipped",
+    "FlowAccepted",
+    "FlowClosed",
+    "FlowRejected",
     "SpanClosed",
     "EventBus",
     "BUS",
@@ -181,6 +184,61 @@ class BlockSkipped(TelemetryEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class FlowAccepted(TelemetryEvent):
+    """The transfer service admitted one client flow.
+
+    Emitted by :class:`repro.serve.TransferServer` when a connection
+    passes admission control; ``flow_id`` is unique for the daemon's
+    lifetime and ``active_flows`` counts flows open *after* this one.
+    """
+
+    source: str
+    flow_id: int
+    peer: str
+    mode: str
+    active_flows: int
+
+
+@dataclass(frozen=True, slots=True)
+class FlowClosed(TelemetryEvent):
+    """One admitted flow finished (cleanly or not).
+
+    ``ok`` is False for protocol errors, codec failures and drain
+    deadline kills; ``reason`` then names the cause.  ``app_bytes``
+    counts decoded plaintext, ``bytes_in``/``bytes_out`` the wire bytes
+    each way, so per-flow rates and achieved compression ratios can be
+    derived without extra events.
+    """
+
+    source: str
+    flow_id: int
+    mode: str
+    ok: bool
+    reason: str
+    bytes_in: int
+    bytes_out: int
+    app_bytes: int
+    blocks_in: int
+    blocks_out: int
+    seconds: float
+    active_flows: int
+
+
+@dataclass(frozen=True, slots=True)
+class FlowRejected(TelemetryEvent):
+    """Admission control turned a connection away.
+
+    ``reason`` is ``"max-flows"`` for capacity rejections and
+    ``"draining"`` once shutdown has begun; ``active_flows`` is the
+    load that triggered the rejection.
+    """
+
+    source: str
+    reason: str
+    active_flows: int
+
+
+@dataclass(frozen=True, slots=True)
 class SpanClosed(TelemetryEvent):
     """A tracing span (``with span(...)``) exited."""
 
@@ -206,6 +264,9 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     BackoffUpdated,
     FaultInjected,
     BlockSkipped,
+    FlowAccepted,
+    FlowClosed,
+    FlowRejected,
     SpanClosed,
 )
 

@@ -28,6 +28,9 @@ from .events import (
     EpochClosed,
     EventBus,
     FaultInjected,
+    FlowAccepted,
+    FlowClosed,
+    FlowRejected,
     LevelSwitched,
     PipelineQueueDepth,
     SpanClosed,
@@ -102,6 +105,24 @@ def install_metric_subscribers(
         registry.counter(f"{event.source}.pool.oversize").inc(event.oversize)
         registry.gauge(f"{event.source}.pool.free_slabs").set(event.free_slabs)
 
+    def on_flow_accepted(event: FlowAccepted) -> None:
+        registry.counter(f"{event.source}.flows.accepted").inc()
+        registry.gauge(f"{event.source}.flows.active").set(event.active_flows)
+
+    def on_flow_closed(event: FlowClosed) -> None:
+        registry.counter(f"{event.source}.flows.closed").inc()
+        if not event.ok:
+            registry.counter(f"{event.source}.flows.failed").inc()
+        registry.gauge(f"{event.source}.flows.active").set(event.active_flows)
+        registry.counter(f"{event.source}.flows.app_bytes").inc(event.app_bytes)
+        if event.seconds > 0:
+            registry.histogram(
+                f"{event.source}.flow.rate_mbps", RATE_MBPS_BUCKETS
+            ).observe(event.app_bytes / event.seconds / 1e6)
+
+    def on_flow_rejected(event: FlowRejected) -> None:
+        registry.counter(f"{event.source}.flows.rejected").inc()
+
     return [
         bus.subscribe(on_epoch, EpochClosed),
         bus.subscribe(on_switch, LevelSwitched),
@@ -113,6 +134,9 @@ def install_metric_subscribers(
         bus.subscribe(on_fault, FaultInjected),
         bus.subscribe(on_skip, BlockSkipped),
         bus.subscribe(on_pool, BufferPoolStats),
+        bus.subscribe(on_flow_accepted, FlowAccepted),
+        bus.subscribe(on_flow_closed, FlowClosed),
+        bus.subscribe(on_flow_rejected, FlowRejected),
     ]
 
 

@@ -228,7 +228,7 @@ class TestErrorPropagation:
     @staticmethod
     def _assert_joined(decoder):
         assert not decoder._fetcher.is_alive()
-        for thread in decoder._workers:
+        for thread in decoder.codec_pool._threads:
             assert not thread.is_alive()
 
 
@@ -289,7 +289,7 @@ class TestLifecycle:
         decoder.close()
         decoder.close()
         assert not decoder._fetcher.is_alive()
-        for thread in decoder._workers:
+        for thread in decoder.codec_pool._threads:
             assert not thread.is_alive()
 
     def test_close_with_unread_blocks_does_not_hang(self):

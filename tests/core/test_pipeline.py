@@ -138,7 +138,7 @@ class TestErrorPropagation:
         # The latched error surfaces again on close; workers still join.
         with pytest.raises(RuntimeError, match="boom in worker"):
             encoder.close()
-        for thread in encoder._threads:
+        for thread in encoder.codec_pool._threads:
             assert not thread.is_alive()
 
     def test_close_reraises_and_still_joins_workers(self):
@@ -147,7 +147,7 @@ class TestErrorPropagation:
         encoder.write_block(b"\x00" * 512, codec)
         with pytest.raises(RuntimeError, match="boom in worker"):
             encoder.close()
-        for thread in encoder._threads:
+        for thread in encoder.codec_pool._threads:
             thread.join(timeout=5.0)
             assert not thread.is_alive()
 
@@ -188,7 +188,7 @@ class TestFlushClose:
         encoder.write_block(b"x" * 100, NullCodec())
         encoder.close()
         encoder.close()
-        for thread in encoder._threads:
+        for thread in encoder.codec_pool._threads:
             assert not thread.is_alive()
 
     def test_write_after_close_raises(self):

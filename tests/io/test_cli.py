@@ -146,3 +146,90 @@ class TestInfo:
         assert "lzma-4" in out
         codec_lines = [l for l in out.splitlines() if l.startswith("  ")]
         assert len(codec_lines) == 3
+
+
+class TestExitCodes:
+    """Top-level conventions: Ctrl-C exits 130, dead pipe exits 0."""
+
+    def test_keyboard_interrupt_exits_130(self, capsys):
+        from repro.io.cli import _run
+
+        def boom(ns):
+            raise KeyboardInterrupt
+
+        assert _run(boom, None) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_broken_pipe_exits_0(self, monkeypatch):
+        import os as os_mod
+
+        from repro.io.cli import _run
+
+        monkeypatch.setattr(os_mod, "dup2", lambda *a: None)
+
+        def pipe(ns):
+            raise BrokenPipeError
+
+        assert _run(pipe, None) == 0
+
+    def test_missing_file_still_exits_1(self, capsys):
+        assert main(["info", "/no/such/file.abc"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_telemetry_main_shares_exit_codes(self, monkeypatch, capsys):
+        from repro.io import cli
+
+        def boom(ns):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(
+            cli.telemetry_main.__globals__, "cmd_telemetry_report", boom
+        )
+        assert cli.telemetry_main(["report", "whatever.jsonl"]) == 130
+
+
+class TestServeCommand:
+    """The `repro-compress serve` daemon, driven as a real subprocess."""
+
+    def test_daemon_serves_and_drains_on_sigterm(self, sample_file):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        from repro.serve import ServeClient
+
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.io.cli",
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--max-flows",
+                "4",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=os.environ.copy(),
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            match = re.match(r"serving on (\S+):(\d+)$", banner)
+            assert match, f"unexpected banner {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            payload = sample_file.read_bytes()
+            result = ServeClient(host, port, timeout=30.0).upload(payload)
+            assert result.trailer["app_bytes"] == len(payload)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30.0)
+            assert proc.returncode == 0
+            assert "drained: 1 completed" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)

@@ -1,0 +1,72 @@
+"""Tests for the shared listener-socket helper (SO_REUSEADDR, backlog)."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.io import DEFAULT_BACKLOG, open_listener
+
+
+class TestOpenListener:
+    def test_binds_and_listens(self):
+        sock = open_listener()
+        try:
+            host, port = sock.getsockname()
+            assert host == "127.0.0.1"
+            assert port > 0
+            with socket.create_connection((host, port), timeout=5.0):
+                pass
+        finally:
+            sock.close()
+
+    def test_reuse_addr_set_by_default(self):
+        sock = open_listener()
+        try:
+            assert sock.getsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR) != 0
+        finally:
+            sock.close()
+
+    def test_reuse_addr_can_be_disabled(self):
+        sock = open_listener(reuse_addr=False)
+        try:
+            assert sock.getsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR) == 0
+        finally:
+            sock.close()
+
+    def test_rapid_rebind_same_port(self):
+        """Restarting a daemon on its port must not hit EADDRINUSE.
+
+        A closed connection parks the (addr, port) pair in TIME_WAIT;
+        without SO_REUSEADDR the rebind below fails for minutes.
+        """
+        first = open_listener()
+        host, port = first.getsockname()
+        with socket.create_connection((host, port), timeout=5.0):
+            conn, _ = first.accept()
+            conn.close()
+        first.close()
+        second = open_listener(host, port)
+        try:
+            assert second.getsockname()[1] == port
+        finally:
+            second.close()
+
+    def test_backlog_must_be_positive(self):
+        with pytest.raises(ValueError):
+            open_listener(backlog=0)
+
+    def test_default_backlog_constant(self):
+        assert DEFAULT_BACKLOG >= 16
+
+
+class TestBacklogPlumbing:
+    def test_receiver_thread_accepts_backlog_kwarg(self):
+        from repro.io.sockets import ReceiverThread
+
+        receiver = ReceiverThread(backlog=4)
+        try:
+            assert receiver.address[1] > 0
+        finally:
+            receiver.stop()

@@ -1,0 +1,122 @@
+"""Unit tests for the serve wire protocol (hello/control framing)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    CONTROL,
+    CONTROL_MAGIC,
+    HELLO,
+    HELLO_MAGIC,
+    MAX_CONTROL_LEN,
+    MODE_ECHO,
+    MODE_SINK,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_control,
+    encode_hello,
+    parse_control,
+    parse_hello,
+)
+
+
+class TestHello:
+    def test_roundtrip_sink(self):
+        frame = encode_hello(MODE_SINK, {"block_size": 4096})
+        hello, consumed = parse_hello(frame)
+        assert consumed == len(frame)
+        assert hello.mode == MODE_SINK
+        assert hello.params == {"block_size": 4096}
+
+    def test_roundtrip_echo_no_params(self):
+        frame = encode_hello(MODE_ECHO)
+        hello, consumed = parse_hello(frame)
+        assert hello.mode == MODE_ECHO
+        assert hello.params == {}
+        assert consumed == len(frame)
+
+    def test_incremental_byte_by_byte(self):
+        frame = encode_hello(MODE_ECHO, {"level": "HEAVY"})
+        for cut in range(len(frame)):
+            assert parse_hello(frame[:cut]) is None
+        hello, consumed = parse_hello(frame)
+        assert hello.params["level"] == "HEAVY"
+        assert consumed == len(frame)
+
+    def test_trailing_bytes_not_consumed(self):
+        frame = encode_hello(MODE_SINK)
+        hello, consumed = parse_hello(frame + b"AB extra block bytes")
+        assert consumed == len(frame)
+
+    def test_unknown_mode_rejected_at_encode(self):
+        with pytest.raises(ValueError):
+            encode_hello("upload")
+
+    def test_bad_magic_fails_fast_even_partial(self):
+        with pytest.raises(ProtocolError):
+            parse_hello(b"XX")  # 2 bytes of garbage: never a valid prefix
+
+    def test_bad_magic_full_header(self):
+        frame = bytearray(encode_hello(MODE_SINK))
+        frame[0] = 0x58
+        with pytest.raises(ProtocolError):
+            parse_hello(frame)
+
+    def test_bad_version(self):
+        frame = HELLO.pack(HELLO_MAGIC, PROTOCOL_VERSION + 1, 1, 0)
+        with pytest.raises(ProtocolError):
+            parse_hello(frame)
+
+    def test_unknown_mode_id(self):
+        frame = HELLO.pack(HELLO_MAGIC, PROTOCOL_VERSION, 99, 0)
+        with pytest.raises(ProtocolError):
+            parse_hello(frame)
+
+    def test_non_object_params(self):
+        body = b"[1,2]"
+        frame = HELLO.pack(HELLO_MAGIC, PROTOCOL_VERSION, 1, len(body)) + body
+        with pytest.raises(ProtocolError):
+            parse_hello(frame)
+
+    def test_undecodable_params(self):
+        body = b"{not json"
+        frame = HELLO.pack(HELLO_MAGIC, PROTOCOL_VERSION, 1, len(body)) + body
+        with pytest.raises(ProtocolError):
+            parse_hello(frame)
+
+
+class TestControl:
+    def test_roundtrip(self):
+        body = {"ok": True, "flow_id": 7, "crc32": 123456789}
+        frame = encode_control(body)
+        parsed, consumed = parse_control(frame)
+        assert parsed == body
+        assert consumed == len(frame)
+
+    def test_incremental(self):
+        frame = encode_control({"ok": False, "error": "max-flows"})
+        for cut in range(len(frame)):
+            assert parse_control(frame[:cut]) is None
+        parsed, _ = parse_control(frame)
+        assert parsed["error"] == "max-flows"
+
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError):
+            parse_control(b"JUNKJUNKJUNK")
+
+    def test_partial_bad_prefix_fails_fast(self):
+        with pytest.raises(ProtocolError):
+            parse_control(b"RX")
+
+    def test_oversized_length_rejected_before_body(self):
+        frame = CONTROL.pack(CONTROL_MAGIC, MAX_CONTROL_LEN + 1)
+        with pytest.raises(ProtocolError):
+            parse_control(frame)
+
+    def test_partial_magic_prefix_waits(self):
+        # A correct prefix shorter than the magic is "need more bytes".
+        assert parse_control(b"RC") is None
+        assert parse_hello(b"RS") is None

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.sim",
     "repro.nephele",
     "repro.io",
+    "repro.serve",
     "repro.telemetry",
     "repro.experiments",
 ]
