@@ -18,9 +18,18 @@ The gate is core-aware, mirroring the encode benchmark:
   headline >= 1.8x speedup at 4 workers for the CPU-bound levels
   (MEDIUM/HEAVY) on HIGH/MODERATE data.
 
+``--backend both`` additionally decodes every parallel cell on the
+multiprocess shared-memory pool (:mod:`repro.core.procpool`) and gates
+the threads-vs-processes crossover at MEDIUM/4-workers: >= 90 % of
+thread throughput below 4 cores, at least parity at >= 4 cores.  The
+1-worker overhead floor applies to the thread backend only — a
+1-worker process cell pays IPC by construction and is covered by the
+crossover gate instead.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_decode.py [--quick]
+        [--backend thread|process|both]
         [--mib 16] [--repeats 3] [--out BENCH_decode.json]
 """
 
@@ -42,7 +51,9 @@ from repro.core.buffers import BufferPool
 from repro.core.pipeline import ParallelBlockDecoder
 from repro.data.corpus import Compressibility, generate
 
-from bench_pipeline import core_info, usable_cores
+from repro.core.procpool import CodecProcessPool, process_backend_available
+
+from bench_pipeline import core_info, resolve_backends, usable_cores
 
 BLOCK_SIZE = 128 * 1024
 
@@ -66,19 +77,25 @@ def encode_stream(data: bytes, codec) -> bytes:
     return sink.getvalue()
 
 
-def one_pass(stream: bytes, workers: int) -> tuple[float, int]:
+def one_pass(
+    stream: bytes, workers: int, backend: str = "thread", codec_pool=None
+) -> tuple[float, int]:
     """Decode ``stream`` once; (seconds, plaintext bytes).
 
     ``workers=0`` selects the serial :class:`BlockReader` baseline;
     any other count runs the :class:`ParallelBlockDecoder` so the
     1-worker cell measures the pipeline machinery's own overhead.
+    ``codec_pool`` shares one pre-started pool across repeats so a
+    process-backend cell times steady state, not worker process boot.
     """
     source = io.BytesIO(stream)
     pool = BufferPool()
     if workers == 0:
         decoder = BlockReader(source, pool=pool)
     else:
-        decoder = ParallelBlockDecoder(source, workers=workers, pool=pool)
+        decoder = ParallelBlockDecoder(
+            source, workers=workers, backend=backend, pool=pool, codec_pool=codec_pool
+        )
     out = 0
     t0 = time.perf_counter()
     for block in decoder:
@@ -88,7 +105,9 @@ def one_pass(stream: bytes, workers: int) -> tuple[float, int]:
     return elapsed, out
 
 
-def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
+def run_matrix(
+    mib: int, repeats: int, worker_counts, levels, classes, backends=("thread",)
+) -> dict:
     """Best-of-``repeats`` seconds for every matrix cell."""
     total = mib * 2**20
     results = []
@@ -112,6 +131,7 @@ def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
                 {
                     **base,
                     "workers": 0,
+                    "backend": "serial",
                     "seconds": round(serial_s, 4),
                     "mb_per_s": round(total / serial_s / 1e6, 2),
                     "speedup_vs_serial": 1.0,
@@ -123,30 +143,47 @@ def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
                 flush=True,
             )
             for workers in worker_counts:
-                best_s, out = min(
-                    (one_pass(stream, workers) for _ in range(repeats)),
-                    key=lambda pair: pair[0],
-                )
-                assert out == total, f"parallel decode lost bytes at {workers}"
-                cell = {
-                    **base,
-                    "workers": workers,
-                    "seconds": round(best_s, 4),
-                    "mb_per_s": round(total / best_s / 1e6, 2),
-                    "speedup_vs_serial": round(serial_s / best_s, 3),
-                }
-                results.append(cell)
-                print(
-                    f"  {cls.value:8s} {level_name:6s} workers={workers}  "
-                    f"{cell['mb_per_s']:8.1f} MB/s  "
-                    f"speedup {cell['speedup_vs_serial']:.2f}x",
-                    flush=True,
-                )
+                for backend in backends:
+                    shared = None
+                    if backend == "process":
+                        shared = CodecProcessPool(workers)
+                        # Boot pass (not measured): worker start-up.
+                        one_pass(stream, workers, backend, shared)
+                    best_s, out = min(
+                        (
+                            one_pass(stream, workers, backend, shared)
+                            for _ in range(repeats)
+                        ),
+                        key=lambda pair: pair[0],
+                    )
+                    if shared is not None:
+                        shared.close()
+                    assert out == total, (
+                        f"parallel decode lost bytes at {workers}/{backend}"
+                    )
+                    cell = {
+                        **base,
+                        "workers": workers,
+                        "backend": backend,
+                        "seconds": round(best_s, 4),
+                        "mb_per_s": round(total / best_s / 1e6, 2),
+                        "speedup_vs_serial": round(serial_s / best_s, 3),
+                    }
+                    results.append(cell)
+                    print(
+                        f"  {cls.value:8s} {level_name:6s} workers={workers} "
+                        f"{backend:7s}  "
+                        f"{cell['mb_per_s']:8.1f} MB/s  "
+                        f"speedup {cell['speedup_vs_serial']:.2f}x",
+                        flush=True,
+                    )
     return {
         "meta": {
             "block_size": BLOCK_SIZE,
             "payload_mib": mib,
             "repeats": repeats,
+            "backends": list(backends),
+            "process_backend_available": process_backend_available(),
             **core_info(),
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -155,15 +192,47 @@ def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
     }
 
 
-def _cell(payload: dict, cls: str, level: str, workers: int) -> dict:
+def _cell(
+    payload: dict, cls: str, level: str, workers: int, backend: str = "thread"
+) -> dict:
     for cell in payload["results"]:
         if (
             cell["class"] == cls
             and cell["level"] == level
             and cell["workers"] == workers
+            and cell.get("backend", "thread") == backend
         ):
             return cell
-    raise KeyError(f"no cell for {cls}/{level}/workers={workers}")
+    raise KeyError(f"no cell for {cls}/{level}/workers={workers}/{backend}")
+
+
+def check_backend_gate(payload: dict) -> list[str]:
+    """Threads-vs-processes decode gate at MEDIUM/4-workers.
+
+    Mirrors the encode benchmark: >= 90 % of thread throughput below 4
+    cores (the IPC/staging overhead bound), parity or better at >= 4
+    cores where the process pool escapes the GIL.
+    """
+    cores = payload["meta"]["usable_cores"]
+    failures = []
+    for cls in ("HIGH", "MODERATE"):
+        try:
+            thread = _cell(payload, cls, "MEDIUM", 4, "thread")
+            proc = _cell(payload, cls, "MEDIUM", 4, "process")
+        except KeyError:
+            continue
+        ratio = proc["mb_per_s"] / thread["mb_per_s"] if thread["mb_per_s"] else 0.0
+        if cores >= 4 and ratio < 1.0:
+            failures.append(
+                f"{cls}/MEDIUM: process decode slower than threads "
+                f"({ratio:.2f}x) with {cores} cores available"
+            )
+        elif cores < 4 and ratio < 0.90:
+            failures.append(
+                f"{cls}/MEDIUM: process-decode overhead above 10% of "
+                f"threads ({ratio:.2f}x) on {cores} core(s)"
+            )
+    return failures
 
 
 def check_gate(payload: dict, *, quick: bool) -> list[str]:
@@ -199,6 +268,7 @@ def check_gate(payload: dict, *, quick: bool) -> list[str]:
                     f"{cls}/{level}: expected >=1.8x at 4 workers with "
                     f"{cores} cores, got {speedup:.2f}x"
                 )
+    failures.extend(check_backend_gate(payload))
     return failures
 
 
@@ -211,8 +281,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--mib", type=int, default=None, help="payload MiB per class")
     parser.add_argument("--repeats", type=int, default=None, help="passes per cell")
+    parser.add_argument(
+        "--backend",
+        choices=["thread", "process", "both"],
+        default="thread",
+        help="codec backend axis ('both' records the crossover)",
+    )
     parser.add_argument("--out", default="BENCH_decode.json", help="JSON output path")
     args = parser.parse_args(argv)
+    backends = resolve_backends(args.backend)
 
     if args.quick:
         mib = args.mib or 4
@@ -229,10 +306,10 @@ def main(argv=None) -> int:
 
     print(
         f"decode benchmark: {mib} MiB/class, repeats={repeats}, "
-        f"usable cores={usable_cores()}",
+        f"backends={'/'.join(backends)}, usable cores={usable_cores()}",
         flush=True,
     )
-    payload = run_matrix(mib, repeats, worker_counts, levels, classes)
+    payload = run_matrix(mib, repeats, worker_counts, levels, classes, backends)
     with open(args.out, "w") as fp:
         json.dump(payload, fp, indent=2)
     print(f"matrix written to {args.out}")

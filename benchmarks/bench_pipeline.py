@@ -17,9 +17,17 @@ there are cores to run them:
 * >= 4 usable cores and not ``--quick``: additionally assert the
   headline >= 2x speedup for 4-worker MEDIUM on compressible data.
 
+``--backend both`` adds a process-backend pass per cell (the
+multiprocess shared-memory codec pool of :mod:`repro.core.procpool`)
+so the JSON records the threads-vs-processes crossover.  Its gate at
+MEDIUM/4-workers: processes must reach >= 90 % of thread throughput
+below 4 cores (IPC overhead bound) and beat threads at >= 4 cores
+(where the GIL caps the thread pipeline but not the process one).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick]
+        [--backend thread|process|both]
         [--mib 16] [--repeats 3] [--out BENCH_pipeline.json]
 """
 
@@ -37,6 +45,11 @@ from repro.codecs.lzma_codec import LzmaCodec
 from repro.codecs.null_codec import NullCodec
 from repro.codecs.zlib_codec import LightZlibCodec
 from repro.core.pipeline import make_block_encoder
+from repro.core.procpool import (
+    CodecProcessPool,
+    process_backend_available,
+    process_backend_reason,
+)
 from repro.data.corpus import Compressibility, generate
 
 BLOCK_SIZE = 128 * 1024
@@ -94,10 +107,37 @@ def usable_cores() -> int:
     return core_info()["usable_cores"]
 
 
-def one_pass(data: bytes, workers: int, codec) -> tuple[float, int]:
-    """Push ``data`` through the encoder once; (seconds, wire bytes)."""
+def resolve_backends(requested: str) -> tuple:
+    """Map ``--backend`` to the list of backends actually measurable.
+
+    A requested process backend on a box without usable shared memory
+    is *dropped with a warning* rather than silently measured as
+    threads — mislabelled cells would poison the crossover record.
+    """
+    backends = ("thread", "process") if requested == "both" else (requested,)
+    if "process" in backends and not process_backend_available():
+        print(
+            f"WARNING: process backend unavailable "
+            f"({process_backend_reason()}); measuring threads only",
+            file=sys.stderr,
+        )
+        backends = tuple(b for b in backends if b != "process")
+    return backends or ("thread",)
+
+
+def one_pass(
+    data: bytes, workers: int, codec, backend: str = "thread", codec_pool=None
+) -> tuple[float, int]:
+    """Push ``data`` through the encoder once; (seconds, wire bytes).
+
+    ``codec_pool`` shares one pre-started pool across repeats so a
+    process-backend cell times steady-state throughput, not worker
+    process boot (pools are long-lived in every real deployment).
+    """
     sink = NullSink()
-    encoder = make_block_encoder(sink, workers=workers)
+    encoder = make_block_encoder(
+        sink, workers=workers, backend=backend, codec_pool=codec_pool
+    )
     t0 = time.perf_counter()
     with memoryview(data) as view:
         for offset in range(0, len(data), BLOCK_SIZE):
@@ -108,8 +148,17 @@ def one_pass(data: bytes, workers: int, codec) -> tuple[float, int]:
     return elapsed, sink.nbytes
 
 
-def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
-    """Best-of-``repeats`` seconds for every matrix cell."""
+def run_matrix(
+    mib: int, repeats: int, worker_counts, levels, classes, backends=("thread",)
+) -> dict:
+    """Best-of-``repeats`` seconds for every matrix cell.
+
+    The serial baseline every speedup is measured against is the
+    1-worker *thread* cell (which ``make_block_encoder`` resolves to
+    the plain serial :class:`BlockWriter`), so thread and process cells
+    of one (class, level) share a single denominator and the crossover
+    can be read straight off ``speedup_vs_serial``.
+    """
     total = mib * 2**20
     results = []
     for cls in classes:
@@ -118,36 +167,53 @@ def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
             codec = codec_factory()
             serial_s = None
             for workers in worker_counts:
-                best_s, wire = min(
-                    (one_pass(data, workers, codec) for _ in range(repeats)),
-                    key=lambda pair: pair[0],
-                )
-                if workers == 1:
-                    serial_s = best_s
-                cell = {
-                    "class": cls.value,
-                    "level": level_name,
-                    "codec": codec.name,
-                    "workers": workers,
-                    "seconds": round(best_s, 4),
-                    "mb_per_s": round(total / best_s / 1e6, 2),
-                    "ratio": round(wire / total, 4),
-                    "speedup_vs_serial": round(serial_s / best_s, 3)
-                    if serial_s
-                    else 1.0,
-                }
-                results.append(cell)
-                print(
-                    f"  {cls.value:8s} {level_name:6s} workers={workers}  "
-                    f"{cell['mb_per_s']:8.1f} MB/s  "
-                    f"speedup {cell['speedup_vs_serial']:.2f}x",
-                    flush=True,
-                )
+                for backend in backends:
+                    shared = None
+                    if backend == "process":
+                        shared = CodecProcessPool(workers)
+                        # Boot pass: the first submit to a fresh pool
+                        # waits on worker start-up, which must not land
+                        # in any measured repeat.
+                        one_pass(data[:BLOCK_SIZE], workers, codec, backend, shared)
+                    best_s, wire = min(
+                        (
+                            one_pass(data, workers, codec, backend, shared)
+                            for _ in range(repeats)
+                        ),
+                        key=lambda pair: pair[0],
+                    )
+                    if shared is not None:
+                        shared.close()
+                    if workers == 1 and backend == "thread":
+                        serial_s = best_s
+                    cell = {
+                        "class": cls.value,
+                        "level": level_name,
+                        "codec": codec.name,
+                        "workers": workers,
+                        "backend": backend,
+                        "seconds": round(best_s, 4),
+                        "mb_per_s": round(total / best_s / 1e6, 2),
+                        "ratio": round(wire / total, 4),
+                        "speedup_vs_serial": round(serial_s / best_s, 3)
+                        if serial_s
+                        else 1.0,
+                    }
+                    results.append(cell)
+                    print(
+                        f"  {cls.value:8s} {level_name:6s} workers={workers} "
+                        f"{backend:7s}  "
+                        f"{cell['mb_per_s']:8.1f} MB/s  "
+                        f"speedup {cell['speedup_vs_serial']:.2f}x",
+                        flush=True,
+                    )
     return {
         "meta": {
             "block_size": BLOCK_SIZE,
             "payload_mib": mib,
             "repeats": repeats,
+            "backends": list(backends),
+            "process_backend_available": process_backend_available(),
             **core_info(),
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -156,15 +222,48 @@ def run_matrix(mib: int, repeats: int, worker_counts, levels, classes) -> dict:
     }
 
 
-def _cell(payload: dict, cls: str, level: str, workers: int) -> dict:
+def _cell(
+    payload: dict, cls: str, level: str, workers: int, backend: str = "thread"
+) -> dict:
     for cell in payload["results"]:
         if (
             cell["class"] == cls
             and cell["level"] == level
             and cell["workers"] == workers
+            and cell.get("backend", "thread") == backend
         ):
             return cell
-    raise KeyError(f"no cell for {cls}/{level}/workers={workers}")
+    raise KeyError(f"no cell for {cls}/{level}/workers={workers}/{backend}")
+
+
+def check_backend_gate(payload: dict) -> list[str]:
+    """Threads-vs-processes gate at the MEDIUM/4-worker headline cell.
+
+    Below 4 cores nothing can overlap enough for processes to win, so
+    the gate is an IPC-overhead bound: >= 90 % of thread throughput.
+    At >= 4 cores the process pool must actually beat the
+    GIL-serialised thread pipeline.
+    """
+    cores = payload["meta"]["usable_cores"]
+    failures = []
+    for cls in ("HIGH", "MODERATE"):
+        try:
+            thread = _cell(payload, cls, "MEDIUM", 4, "thread")
+            proc = _cell(payload, cls, "MEDIUM", 4, "process")
+        except KeyError:
+            continue
+        ratio = proc["mb_per_s"] / thread["mb_per_s"] if thread["mb_per_s"] else 0.0
+        if cores >= 4 and ratio < 1.0:
+            failures.append(
+                f"{cls}/MEDIUM: process backend slower than threads "
+                f"({ratio:.2f}x) with {cores} cores available"
+            )
+        elif cores < 4 and ratio < 0.90:
+            failures.append(
+                f"{cls}/MEDIUM: process-backend overhead above 10% of "
+                f"threads ({ratio:.2f}x) on {cores} core(s)"
+            )
+    return failures
 
 
 def check_gate(payload: dict, *, quick: bool) -> list[str]:
@@ -192,6 +291,7 @@ def check_gate(payload: dict, *, quick: bool) -> list[str]:
                 f"{cls}/MEDIUM: expected >=2x at 4 workers with "
                 f"{cores} cores, got {speedup:.2f}x"
             )
+    failures.extend(check_backend_gate(payload))
     return failures
 
 
@@ -205,9 +305,16 @@ def main(argv=None) -> int:
     parser.add_argument("--mib", type=int, default=None, help="payload MiB per class")
     parser.add_argument("--repeats", type=int, default=None, help="passes per cell")
     parser.add_argument(
+        "--backend",
+        choices=["thread", "process", "both"],
+        default="thread",
+        help="codec backend axis ('both' records the crossover)",
+    )
+    parser.add_argument(
         "--out", default="BENCH_pipeline.json", help="JSON output path"
     )
     args = parser.parse_args(argv)
+    backends = resolve_backends(args.backend)
 
     if args.quick:
         mib = args.mib or 4
@@ -224,10 +331,10 @@ def main(argv=None) -> int:
 
     print(
         f"pipeline benchmark: {mib} MiB/class, repeats={repeats}, "
-        f"usable cores={usable_cores()}",
+        f"backends={'/'.join(backends)}, usable cores={usable_cores()}",
         flush=True,
     )
-    payload = run_matrix(mib, repeats, worker_counts, levels, classes)
+    payload = run_matrix(mib, repeats, worker_counts, levels, classes, backends)
     with open(args.out, "w") as fp:
         json.dump(payload, fp, indent=2)
     print(f"matrix written to {args.out}")

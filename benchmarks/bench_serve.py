@@ -23,10 +23,16 @@ wildly in cores and background load:
 * with >= 2 usable cores, 4 flows must move at least as much aggregate
   data per second as 60 % of 1 flow (shared-pool contention bound).
 
+``--backend both`` repeats every round on the process-sharded codec
+substrate (``ServeConfig(codec_backend="process")``), so one artifact
+records the serve-layer threads-vs-processes crossover; each round
+notes the backend/shards/workers its daemon actually resolved.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
-        [--mib 8] [--out BENCH_serve.json]
+        [--backend thread|process|both]
+        [--mib 8] [--shards N] [--out BENCH_serve.json]
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ import sys
 import threading
 import time
 
-from bench_pipeline import core_info
+from bench_pipeline import core_info, resolve_backends
 
 from repro.data.corpus import Compressibility, generate
 from repro.serve import ServeClient, ServeConfig, TransferServer
@@ -46,10 +52,22 @@ from repro.serve import ServeClient, ServeConfig, TransferServer
 FLOW_COUNTS = (1, 4, 16)
 
 
-def run_round(data: bytes, flows: int, codec_workers: int) -> dict:
+def run_round(
+    data: bytes,
+    flows: int,
+    codec_workers: int,
+    backend: str = "thread",
+    shards: int = 0,
+) -> dict:
     """One daemon, ``flows`` concurrent uploads; aggregate + per-flow stats."""
     server = TransferServer(
-        ServeConfig(port=0, max_flows=flows + 4, codec_workers=codec_workers)
+        ServeConfig(
+            port=0,
+            max_flows=flows + 4,
+            codec_workers=codec_workers,
+            codec_backend=backend,
+            codec_shards=shards,
+        )
     ).start()
     host, port = server.address
     results = [None] * flows
@@ -69,6 +87,12 @@ def run_round(data: bytes, flows: int, codec_workers: int) -> dict:
     for t in threads:
         t.join()
     wall = time.perf_counter() - t0
+    # Read the *resolved* substrate shape off the live server: the
+    # config value may be 0 (= auto), and recording that instead of
+    # what actually ran made earlier artifacts unauditable.
+    codec_workers_resolved = server.codec_workers
+    codec_backend_resolved = server.codec_backend
+    codec_shards_resolved = server.codec_shards
     server.stop(drain=True, timeout=30.0)
 
     flow_seconds = [r.seconds for r in results if r is not None]
@@ -76,6 +100,9 @@ def run_round(data: bytes, flows: int, codec_workers: int) -> dict:
     return {
         "flows": flows,
         "completed": len(flow_seconds),
+        "codec_workers_resolved": codec_workers_resolved,
+        "codec_backend": codec_backend_resolved,
+        "codec_shards": codec_shards_resolved,
         "errors": errors,
         "server_failed_flows": server.flows_failed,
         "wall_seconds": round(wall, 4),
@@ -85,27 +112,42 @@ def run_round(data: bytes, flows: int, codec_workers: int) -> dict:
         else 0.0,
         "flow_seconds_min": round(min(flow_seconds), 4) if flow_seconds else None,
         "flow_seconds_max": round(max(flow_seconds), 4) if flow_seconds else None,
-        "codec_pool": server.codec_pool.stats(),
+        "codec_pool": server.codec_stats(),
         "buffer_pool": server.buffer_pool.stats(),
     }
 
 
-def run_matrix(mib: int, codec_workers: int, flow_counts) -> dict:
+def run_matrix(
+    mib: int,
+    codec_workers: int,
+    flow_counts,
+    backends=("thread",),
+    shards: int = 0,
+) -> dict:
     data = generate(Compressibility.MODERATE, mib * 2**20, seed=13)
     rounds = []
-    for flows in flow_counts:
-        cell = run_round(data, flows, codec_workers)
-        rounds.append(cell)
-        print(
-            f"  flows={flows:3d}  aggregate {cell['aggregate_mb_per_s']:8.1f} MB/s  "
-            f"wall {cell['wall_seconds']:.2f}s  "
-            f"completed {cell['completed']}/{flows}",
-            flush=True,
-        )
+    for backend in backends:
+        for flows in flow_counts:
+            cell = run_round(data, flows, codec_workers, backend, shards)
+            rounds.append(cell)
+            print(
+                f"  flows={flows:3d} {cell['codec_backend']:7s}  "
+                f"aggregate {cell['aggregate_mb_per_s']:8.1f} MB/s  "
+                f"wall {cell['wall_seconds']:.2f}s  "
+                f"completed {cell['completed']}/{flows}",
+                flush=True,
+            )
     return {
         "meta": {
             "payload_mib_per_flow": mib,
-            "codec_workers": codec_workers,
+            # Both sides of the auto-sizing: what was asked for (0 =
+            # auto) and what every round's daemon actually ran with.
+            "codec_workers_requested": codec_workers,
+            "codec_workers_resolved": rounds[0]["codec_workers_resolved"]
+            if rounds
+            else None,
+            "backends": sorted({c["codec_backend"] for c in rounds}),
+            "codec_shards": rounds[0]["codec_shards"] if rounds else shards,
             **core_info(),
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -114,11 +156,11 @@ def run_matrix(mib: int, codec_workers: int, flow_counts) -> dict:
     }
 
 
-def _round(payload: dict, flows: int) -> dict:
+def _round(payload: dict, flows: int, backend: str) -> dict:
     for cell in payload["rounds"]:
-        if cell["flows"] == flows:
+        if cell["flows"] == flows and cell["codec_backend"] == backend:
             return cell
-    raise KeyError(f"no round for flows={flows}")
+    raise KeyError(f"no round for flows={flows}/{backend}")
 
 
 def check_gate(payload: dict) -> list[str]:
@@ -127,33 +169,38 @@ def check_gate(payload: dict) -> list[str]:
     for cell in payload["rounds"]:
         if cell["completed"] != cell["flows"] or cell["errors"]:
             failures.append(
-                f"flows={cell['flows']}: only {cell['completed']} of "
-                f"{cell['flows']} flows completed verified ({cell['errors'][:2]})"
+                f"flows={cell['flows']}/{cell['codec_backend']}: only "
+                f"{cell['completed']} of {cell['flows']} flows completed "
+                f"verified ({cell['errors'][:2]})"
             )
         if cell["server_failed_flows"]:
             failures.append(
-                f"flows={cell['flows']}: server reported "
-                f"{cell['server_failed_flows']} failed flows"
+                f"flows={cell['flows']}/{cell['codec_backend']}: server "
+                f"reported {cell['server_failed_flows']} failed flows"
             )
     if failures:
         return failures  # throughput ratios are meaningless on failures
     cores = payload["meta"]["usable_cores"]
-    base = _round(payload, 1)["aggregate_mb_per_s"]
-    if base <= 0:
-        return ["single-flow round produced no throughput sample"]
-    sixteen = _round(payload, 16)["aggregate_mb_per_s"]
-    if sixteen < 0.25 * base:
-        failures.append(
-            f"16-flow aggregate collapsed: {sixteen:.1f} MB/s vs "
-            f"{base:.1f} MB/s single-flow (floor 25%)"
-        )
-    if cores >= 2:
-        four = _round(payload, 4)["aggregate_mb_per_s"]
-        if four < 0.6 * base:
+    for backend in payload["meta"]["backends"]:
+        base = _round(payload, 1, backend)["aggregate_mb_per_s"]
+        if base <= 0:
             failures.append(
-                f"4-flow aggregate {four:.1f} MB/s below 60% of "
-                f"single-flow {base:.1f} MB/s with {cores} cores"
+                f"{backend}: single-flow round produced no throughput sample"
             )
+            continue
+        sixteen = _round(payload, 16, backend)["aggregate_mb_per_s"]
+        if sixteen < 0.25 * base:
+            failures.append(
+                f"{backend}: 16-flow aggregate collapsed: {sixteen:.1f} MB/s "
+                f"vs {base:.1f} MB/s single-flow (floor 25%)"
+            )
+        if cores >= 2:
+            four = _round(payload, 4, backend)["aggregate_mb_per_s"]
+            if four < 0.6 * base:
+                failures.append(
+                    f"{backend}: 4-flow aggregate {four:.1f} MB/s below 60% "
+                    f"of single-flow {base:.1f} MB/s with {cores} cores"
+                )
     return failures
 
 
@@ -168,16 +215,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workers", type=int, default=0, help="shared codec workers (0 = auto)"
     )
+    parser.add_argument(
+        "--backend",
+        choices=["thread", "process", "both"],
+        default="thread",
+        help="codec executor backend ('both' records the crossover)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="process-backend codec shards (0 = one per codec worker)",
+    )
     parser.add_argument("--out", default="BENCH_serve.json", help="JSON output path")
     args = parser.parse_args(argv)
 
     mib = args.mib or (2 if args.quick else 8)
+    backends = resolve_backends(args.backend)
     print(
         f"serve benchmark: {mib} MiB/flow at {FLOW_COUNTS} concurrent flows, "
+        f"backends={'/'.join(backends)}, "
         f"usable cores={core_info()['usable_cores']}",
         flush=True,
     )
-    payload = run_matrix(mib, args.workers, FLOW_COUNTS)
+    payload = run_matrix(mib, args.workers, FLOW_COUNTS, backends, args.shards)
     with open(args.out, "w") as fp:
         json.dump(payload, fp, indent=2)
     print(f"matrix written to {args.out}")

@@ -63,6 +63,17 @@ with hundreds of flows still holds one bounded set of codec threads.
 Ordering, windowing and error latching stay per-pipeline; only the
 execution substrate is shared.
 
+``backend="process"`` swaps the execution substrate for a
+:class:`~repro.core.procpool.CodecProcessPool` — codec jobs run in
+worker *processes* fed over shared-memory slabs, so even the GIL-bound
+parts of the job (pure-Python codecs, framing glue) scale with cores.
+The ordering, windowing, error-latching and byte-identity contracts
+are unchanged: only where the codec call executes differs.  Worker
+exceptions still re-raise at the call site (a worker-process *crash*
+surfaces as :class:`~repro.core.procpool.WorkerCrashedError`), and on
+platforms without shared-memory semantics the knob quietly degrades to
+the thread backend (see :func:`~repro.core.procpool.resolve_backend`).
+
 Telemetry keeps PR 1's zero-cost-when-idle property: queue-depth gauges
 (:class:`~repro.telemetry.events.PipelineQueueDepth`), per-worker
 compress/decompress spans (``pipeline.compress`` /
@@ -79,11 +90,16 @@ from typing import BinaryIO, Iterator, List, Optional, Union
 
 from ..codecs.base import Codec
 from ..codecs.block import (
+    FORMAT_VERSION,
+    HEADER,
     HEADER_SIZE,
+    MAGIC,
     BlockData,
+    BlockHeader,
     BlockReader,
     BlockWriter,
     EncodedBlock,
+    EncodedParts,
     decode_payload,
     encode_block,
     encode_block_parts,
@@ -91,6 +107,7 @@ from ..codecs.block import (
 from ..codecs.errors import CodecError
 from ..codecs.registry import DEFAULT_REGISTRY, CodecRegistry
 from .buffers import BufferPool
+from .procpool import CodecProcessPool, _warn_fallback, resolve_backend
 from .recovery import ResyncBlockReader, ResyncFrameScanner
 from ..telemetry.events import BUS, BufferPoolStats, PipelineQueueDepth
 from ..telemetry.spans import span
@@ -249,17 +266,30 @@ class ParallelBlockEncoder:
         source: str = "pipeline",
         pool: Optional[BufferPool] = None,
         codec_pool: Optional[CodecThreadPool] = None,
+        backend: str = "thread",
     ) -> None:
+        self._codec_pool: Optional[CodecThreadPool] = None
+        self._proc_pool: Optional[CodecProcessPool] = None
         if codec_pool is None:
             if workers < 1:
                 raise ValueError("workers must be >= 1")
-            self._codec_pool = CodecThreadPool(workers, name="repro-pipeline")
+            if resolve_backend(backend, source=source) == "process":
+                self._proc_pool = CodecProcessPool(
+                    workers, name="repro-pipeline-proc"
+                )
+            else:
+                self._codec_pool = CodecThreadPool(workers, name="repro-pipeline")
             self._owns_pool = True
         else:
             # Shared substrate: this encoder is one of many clients of
             # ``codec_pool`` and must never stop or join it.  ``workers``
-            # (when given) only sizes the default in-flight window.
-            self._codec_pool = codec_pool
+            # (when given) only sizes the default in-flight window.  A
+            # shared pool may be either backend — the typed submit API
+            # is what marks a process pool.
+            if hasattr(codec_pool, "submit_compress"):
+                self._proc_pool = codec_pool
+            else:
+                self._codec_pool = codec_pool
             self._owns_pool = False
             workers = workers if workers >= 1 else codec_pool.workers
         if max_in_flight is None:
@@ -299,12 +329,17 @@ class ParallelBlockEncoder:
 
     @property
     def workers(self) -> int:
-        return self._codec_pool.workers
+        return self.codec_pool.workers
 
     @property
-    def codec_pool(self) -> CodecThreadPool:
-        """The thread pool this encoder's compress jobs run on."""
-        return self._codec_pool
+    def codec_pool(self):
+        """The thread or process pool this encoder's jobs run on."""
+        return self._codec_pool if self._codec_pool is not None else self._proc_pool
+
+    @property
+    def backend(self) -> str:
+        """Which execution substrate compress jobs run on."""
+        return "process" if self._proc_pool is not None else "thread"
 
     @property
     def in_flight(self) -> int:
@@ -350,6 +385,67 @@ class ParallelBlockEncoder:
             pool=self._pool,
         )
 
+    def _assemble(self, header: BlockHeader, payload: BlockData):
+        """Frame a process-worker result (compressed on another core;
+        only the cheap header packing happens here).  The payload view
+        is only valid during this call, so it is copied exactly once —
+        into the outgoing frame (or a ``bytes`` for vectored sinks)."""
+        plen = header.compressed_len
+        if self._sink_writev is not None:
+            header_bytes = HEADER.pack(
+                MAGIC,
+                FORMAT_VERSION,
+                header.codec_id,
+                header.flags,
+                header.uncompressed_len,
+                plen,
+                header.crc32,
+            )
+            return EncodedParts(
+                header=header, header_bytes=header_bytes, payload=bytes(payload)
+            )
+        buf = None
+        if self._pool is not None:
+            buf = self._pool.acquire(HEADER_SIZE + plen)
+            frame = buf.view
+        else:
+            frame = bytearray(HEADER_SIZE + plen)
+        HEADER.pack_into(
+            frame,
+            0,
+            MAGIC,
+            FORMAT_VERSION,
+            header.codec_id,
+            header.flags,
+            header.uncompressed_len,
+            plen,
+            header.crc32,
+        )
+        frame[HEADER_SIZE:] = payload
+        return EncodedBlock(frame=frame, header=header, buf=buf)
+
+    def _proc_done(
+        self,
+        seq: int,
+        exc: Optional[BaseException],
+        header: Optional[BlockHeader],
+        payload: Optional[BlockData],
+    ) -> None:
+        """Process-pool completion callback (runs on its collector)."""
+        if exc is not None:
+            with self._cond:
+                if self._error is None:
+                    self._error = exc
+                self._cond.notify_all()
+            return
+        block = self._assemble(header, payload)
+        with self._cond:
+            if self._discard:
+                block.release()
+                return
+            self._results[seq] = block
+            self._cond.notify_all()
+
     # -- producer side ----------------------------------------------
 
     def _collect_ready(self, *, wait_for_head: bool) -> List[EncodedBlock]:
@@ -380,11 +476,13 @@ class ParallelBlockEncoder:
         for block in blocks:
             if self._sink_writev is not None:
                 self._sink_writev((block.header_bytes, block.payload))
-            else:
+            self.blocks_written += 1
+            # Count before release(): a pool-backed frame's length is
+            # unreadable once its view has gone back to the pool.
+            self.bytes_out += block.frame_len
+            if self._sink_writev is None:
                 self._sink.write(block.frame)
                 block.release()
-            self.blocks_written += 1
-            self.bytes_out += block.frame_len
 
     def write_block(self, data: BlockData, codec: Codec) -> None:
         """Queue ``data`` for compression with ``codec``.
@@ -403,19 +501,30 @@ class ParallelBlockEncoder:
         seq = self._next_submit
         self._next_submit += 1
         self.bytes_in += data.nbytes if isinstance(data, memoryview) else len(data)
-        self._codec_pool.submit(
-            lambda index, seq=seq, data=data, codec=codec: self._run_job(
-                index, seq, data, codec
+        if self._proc_pool is not None:
+            self._proc_pool.submit_compress(
+                data,
+                codec,
+                allow_stored_fallback=self._allow_stored_fallback,
+                on_done=lambda exc, header, payload, seq=seq: self._proc_done(
+                    seq, exc, header, payload
+                ),
             )
-        )
+        else:
+            self._codec_pool.submit(
+                lambda index, seq=seq, data=data, codec=codec: self._run_job(
+                    index, seq, data, codec
+                )
+            )
         if BUS.active:
+            pool = self.codec_pool
             BUS.publish(
                 PipelineQueueDepth(
                     ts=BUS.now(),
                     source=self._source,
-                    depth=self._codec_pool.qsize(),
+                    depth=pool.qsize(),
                     in_flight=self._next_submit - self._next_emit,
-                    workers=self._codec_pool.workers,
+                    workers=pool.workers,
                 )
             )
 
@@ -457,18 +566,26 @@ class ParallelBlockEncoder:
         after ``close``.
         """
         self._closed = True
-        self._shutdown_workers()
+        self._shutdown_workers(drain=False)
         with self._cond:
             self._next_emit = self._next_submit
             self._error = None
 
-    def _shutdown_workers(self) -> None:
+    def _shutdown_workers(self, *, drain: bool = True) -> None:
         # From here on any job still queued (possible when the pool is
         # shared, or on the owned-pool error path) drops its result.
         with self._cond:
             self._discard = True
         if self._owns_pool:
-            self._codec_pool.close()
+            if self._proc_pool is not None:
+                # close() drains worker processes; the abort path must
+                # never wait on them (the sink is already broken).
+                if drain:
+                    self._proc_pool.close()
+                else:
+                    self._proc_pool.terminate()
+            else:
+                self._codec_pool.close()
         with self._cond:
             for block in self._results.values():
                 block.release()
@@ -490,6 +607,7 @@ def make_block_encoder(
     source: str = "pipeline",
     pool: Optional[BufferPool] = None,
     codec_pool: Optional[CodecThreadPool] = None,
+    backend: str = "thread",
 ) -> Union[BlockWriter, ParallelBlockEncoder]:
     """Serial or parallel block encoder behind one interface.
 
@@ -502,6 +620,11 @@ def make_block_encoder(
     ``codec_pool`` routes compress jobs to a shared
     :class:`CodecThreadPool` (always the parallel class then, whatever
     ``workers`` says) instead of spawning threads owned by this encoder.
+    ``backend="process"`` runs codec jobs on worker processes
+    (:class:`~repro.core.procpool.CodecProcessPool`) — even at
+    ``workers=1`` that returns the parallel class, because a single
+    worker process still takes the codec off the producer's core.  The
+    knob degrades to threads where the process backend is unavailable.
     """
     if codec_pool is not None:
         return ParallelBlockEncoder(
@@ -515,7 +638,8 @@ def make_block_encoder(
         )
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    if workers == 1:
+    backend = resolve_backend(backend, source=source)
+    if workers == 1 and backend == "thread":
         return BlockWriter(sink, allow_stored_fallback=allow_stored_fallback)
     return ParallelBlockEncoder(
         sink,
@@ -524,6 +648,7 @@ def make_block_encoder(
         allow_stored_fallback=allow_stored_fallback,
         source=source,
         pool=pool,
+        backend=backend,
     )
 
 
@@ -571,16 +696,34 @@ class ParallelBlockDecoder:
         pool: Optional[BufferPool] = None,
         event_source: str = "decode-pipeline",
         codec_pool: Optional[CodecThreadPool] = None,
+        backend: str = "thread",
     ) -> None:
+        self._codec_pool: Optional[CodecThreadPool] = None
+        self._proc_pool: Optional[CodecProcessPool] = None
         if codec_pool is None:
             if workers < 1:
                 raise ValueError("workers must be >= 1")
-            self._codec_pool = CodecThreadPool(workers, name="repro-decode")
+            backend = resolve_backend(backend, source=event_source)
+            if backend == "process" and registry is not DEFAULT_REGISTRY:
+                # Worker processes resolve codecs from their own default
+                # registry; a custom registry cannot follow them there.
+                _warn_fallback(
+                    event_source,
+                    "custom codec registry cannot cross the process boundary",
+                )
+                backend = "thread"
+            if backend == "process":
+                self._proc_pool = CodecProcessPool(workers, name="repro-decode-proc")
+            else:
+                self._codec_pool = CodecThreadPool(workers, name="repro-decode")
             self._owns_pool = True
         else:
             # Shared substrate (see ParallelBlockEncoder): never stopped
             # or joined by this decoder.
-            self._codec_pool = codec_pool
+            if hasattr(codec_pool, "submit_decompress"):
+                self._proc_pool = codec_pool
+            else:
+                self._codec_pool = codec_pool
             self._owns_pool = False
             workers = workers if workers >= 1 else codec_pool.workers
         if max_in_flight is None:
@@ -639,12 +782,17 @@ class ParallelBlockDecoder:
 
     @property
     def workers(self) -> int:
-        return self._codec_pool.workers
+        return self.codec_pool.workers
 
     @property
-    def codec_pool(self) -> CodecThreadPool:
-        """The thread pool this decoder's decompress jobs run on."""
-        return self._codec_pool
+    def codec_pool(self):
+        """The thread or process pool this decoder's jobs run on."""
+        return self._codec_pool if self._codec_pool is not None else self._proc_pool
+
+    @property
+    def backend(self) -> str:
+        """Which execution substrate decompress jobs run on."""
+        return "process" if self._proc_pool is not None else "thread"
 
     @property
     def bytes_in(self) -> int:
@@ -712,19 +860,45 @@ class ParallelBlockDecoder:
                 seq = self._fetched
                 self._fetched += 1
             header, payload = frame
-            self._codec_pool.submit(
-                lambda index, seq=seq, header=header, payload=payload: self._run_job(
-                    index, seq, header, payload
-                )
-            )
+            try:
+                if self._proc_pool is not None:
+                    # submit_decompress stages the payload into a shared
+                    # slab synchronously, so the fetch buffer can go
+                    # back to the pool before the job even runs.
+                    buffer = payload.view if hasattr(payload, "view") else payload
+                    try:
+                        self._proc_pool.submit_decompress(
+                            header,
+                            buffer,
+                            check_crc=False,
+                            on_done=lambda exc, data, seq=seq, header=header: (
+                                self._proc_done(seq, header, exc, data)
+                            ),
+                        )
+                    finally:
+                        if hasattr(payload, "release"):
+                            payload.release()
+                else:
+                    self._codec_pool.submit(
+                        lambda index, seq=seq, header=header, payload=payload: (
+                            self._run_job(index, seq, header, payload)
+                        )
+                    )
+            except BaseException as exc:  # noqa: BLE001 - broken/closed pool
+                with self._cond:
+                    self._latch_error(exc, seq)
+                    self._fetch_done = True
+                    self._cond.notify_all()
+                return
             if BUS.active:
+                pool = self.codec_pool
                 BUS.publish(
                     PipelineQueueDepth(
                         ts=BUS.now(),
                         source=self._event_source,
-                        depth=self._codec_pool.qsize(),
+                        depth=pool.qsize(),
                         in_flight=seq + 1 - self._next_emit,
-                        workers=self._codec_pool.workers,
+                        workers=pool.workers,
                     )
                 )
         with self._cond:
@@ -787,6 +961,38 @@ class ParallelBlockDecoder:
                     return
                 self._results[seq] = data
                 self._cond.notify_all()
+
+    def _proc_done(
+        self,
+        seq: int,
+        header,
+        exc: Optional[BaseException],
+        data: Optional[BlockData],
+    ) -> None:
+        """Process-pool completion callback (runs on its collector).
+
+        Mirrors :meth:`_run_job`'s result handling, including the
+        resync rule: a post-CRC codec failure becomes one skipped frame
+        instead of a latched error.  ``data`` may be a shared-slab view
+        valid only during this call, so it is materialised here.
+        """
+        if exc is not None:
+            if self._resync and isinstance(exc, CodecError):
+                marker = _SkippedFrame(HEADER_SIZE + header.compressed_len)
+                with self._cond:
+                    self._results[seq] = marker
+                    self._cond.notify_all()
+            else:
+                with self._cond:
+                    self._latch_error(exc, seq)
+                    self._cond.notify_all()
+            return
+        block = data if isinstance(data, bytes) else bytes(data)
+        with self._cond:
+            if self._discard:
+                return
+            self._results[seq] = block
+            self._cond.notify_all()
 
     # -- consumer side ----------------------------------------------
 
@@ -864,7 +1070,13 @@ class ParallelBlockDecoder:
         self._window.release()
         self._fetcher.join()
         if self._owns_pool:
-            self._codec_pool.close()
+            if self._proc_pool is not None:
+                # The decoder's close() discards unread work by
+                # contract, so the kill-now teardown is always right:
+                # never decompress blocks nobody will read.
+                self._proc_pool.terminate()
+            else:
+                self._codec_pool.close()
         with self._cond:
             self._results.clear()
 
@@ -893,6 +1105,7 @@ def make_block_decoder(
     pool: Optional[BufferPool] = None,
     event_source: str = "decode-pipeline",
     codec_pool: Optional[CodecThreadPool] = None,
+    backend: str = "thread",
 ) -> Union[BlockReader, ResyncBlockReader, ParallelBlockDecoder]:
     """Serial or parallel block decoder behind one interface.
 
@@ -903,6 +1116,11 @@ def make_block_decoder(
     returns a :class:`ParallelBlockDecoder`.  ``codec_pool`` routes
     decompress jobs to a shared :class:`CodecThreadPool` (always the
     parallel class then) instead of threads owned by this decoder.
+    ``backend="process"`` decompresses on worker processes (see
+    :func:`make_block_encoder`); it returns the parallel class even at
+    ``workers=1`` and degrades to threads when unavailable (or when a
+    custom ``registry`` is in play — codecs cannot follow the jobs
+    across the process boundary).
     """
     if codec_pool is not None:
         return ParallelBlockDecoder(
@@ -918,7 +1136,8 @@ def make_block_decoder(
         )
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    if workers == 1:
+    backend = resolve_backend(backend, source=event_source)
+    if workers == 1 and backend == "thread":
         if resync:
             return ResyncBlockReader(source, registry, max_block_len=max_block_len)
         return BlockReader(source, registry, max_block_len=max_block_len, pool=pool)
@@ -931,4 +1150,5 @@ def make_block_decoder(
         resync=resync,
         pool=pool,
         event_source=event_source,
+        backend=backend,
     )

@@ -41,6 +41,9 @@ class AdaptiveBlockWriter:
     level schedule.  The controller still records uncompressed bytes at
     submission time, so level decisions are unchanged; a level switch
     takes effect on subsequently *submitted* blocks.
+    ``backend="process"`` runs those codec jobs on worker processes
+    instead — same wire bytes, true multi-core scaling (see
+    :mod:`repro.core.procpool`).
 
     The clock is injectable so tests can drive time deterministically.
     """
@@ -55,13 +58,16 @@ class AdaptiveBlockWriter:
         alpha: float = DEFAULT_ALPHA,
         initial_level: int = 0,
         workers: int = 1,
+        backend: str = "thread",
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
         self.levels = levels or default_level_table()
         self._clock = clock
-        self._writer = make_block_encoder(sink, workers=workers, source="adaptive-stream")
+        self._writer = make_block_encoder(
+            sink, workers=workers, backend=backend, source="adaptive-stream"
+        )
         self._buffer = bytearray()
         self.block_size = block_size
         self.controller = AdaptiveController(
@@ -199,13 +205,16 @@ class StaticBlockWriter:
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
         workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         self.levels = levels or default_level_table()
         if not 0 <= level < len(self.levels):
             raise ValueError(f"level {level} out of range")
         self.level = level
         self.block_size = block_size
-        self._writer = make_block_encoder(sink, workers=workers, source="static-stream")
+        self._writer = make_block_encoder(
+            sink, workers=workers, backend=backend, source="static-stream"
+        )
         self._buffer = bytearray()
         self._closed = False
 

@@ -5,7 +5,8 @@
 * ``pack SRC DST`` — compress a file into the self-contained block
   format, adaptively by default (``--level`` forces a static level).
 * ``unpack SRC DST`` — restore; every block names its codec, so the
-  only knob is ``--workers`` for parallel decompression.
+  only knobs are ``--workers`` and ``--backend`` for parallel
+  decompression (threads or worker processes).
 * ``info FILE`` — inspect a packed file without decompressing: block
   count, per-codec histogram, ratios (shows which levels the adaptive
   scheme actually chose over the course of the stream).
@@ -68,7 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="compression worker threads (1 = serial; output is identical)",
+        help="compression workers (1 = serial; output is identical)",
+    )
+    pack.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="codec worker backend: 'process' scales past the GIL "
+        "(falls back to threads where shared memory is unavailable)",
     )
 
     unpack = sub.add_parser("unpack", help="restore a packed file")
@@ -78,7 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="decompression worker threads (1 = serial; output is identical)",
+        help="decompression workers (1 = serial; output is identical)",
+    )
+    unpack.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="codec worker backend (see 'pack --backend')",
     )
 
     info = sub.add_parser("info", help="inspect a packed file")
@@ -97,7 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=0,
-        help="shared codec worker threads (0 = auto)",
+        help="shared codec workers (0 = auto)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="codec executor backend: 'process' shards flows across "
+        "single-worker codec processes (see --shards)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="process-backend codec shards (0 = one per codec worker)",
     )
     serve.add_argument(
         "--level",
@@ -131,6 +158,7 @@ def cmd_pack(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         epoch_seconds=args.epoch_seconds,
         workers=args.workers,
+        backend=args.backend,
     )
     print(
         f"{result.input_bytes:,} -> {result.output_bytes:,} bytes "
@@ -140,7 +168,9 @@ def cmd_pack(args: argparse.Namespace) -> int:
 
 
 def cmd_unpack(args: argparse.Namespace) -> int:
-    nbytes = decompress_file(args.src, args.dst, workers=args.workers)
+    nbytes = decompress_file(
+        args.src, args.dst, workers=args.workers, backend=args.backend
+    )
     print(f"restored {nbytes:,} bytes")
     return 0
 
@@ -172,6 +202,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_flows=args.max_flows,
         backlog=args.backlog,
         codec_workers=args.workers,
+        codec_backend=args.backend,
+        codec_shards=args.shards,
         level=args.level,
         idle_timeout=args.idle_timeout,
     )

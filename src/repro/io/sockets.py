@@ -210,6 +210,7 @@ class ReceiverThread(threading.Thread):
         *,
         resync: bool = False,
         decode_workers: int = 1,
+        backend: str = "thread",
         accept_timeout: Optional[float] = DEFAULT_ACCEPT_TIMEOUT,
         recv_timeout: Optional[float] = None,
         backlog: int = DEFAULT_BACKLOG,
@@ -221,6 +222,7 @@ class ReceiverThread(threading.Thread):
         self._recv_timeout = recv_timeout
         self._resync = resync
         self._decode_workers = decode_workers
+        self._backend = backend
         self.address = self._listener.getsockname()
         self.bytes_received = 0
         self.blocks_received = 0
@@ -248,6 +250,7 @@ class ReceiverThread(threading.Thread):
                 decoder = make_block_decoder(
                     SocketSource(conn),
                     workers=self._decode_workers,
+                    backend=self._backend,
                     resync=self._resync,
                     pool=BufferPool(),
                     event_source="socket-decode",
@@ -329,6 +332,7 @@ def run_socket_transfer(
     chunk_bytes: int = 64 * 1024,
     workers: int = 1,
     decode_workers: int = 1,
+    backend: str = "thread",
     vectored: bool = True,
     resync: bool = False,
     connect_policy: Optional[RetryPolicy] = None,
@@ -351,6 +355,11 @@ def run_socket_transfer(
     decodes through a
     :class:`~repro.core.pipeline.ParallelBlockDecoder` instead of the
     serial reader — same plaintext, decompression spread across cores.
+    ``backend="process"`` moves both ends' codec work onto worker
+    processes (:class:`~repro.core.procpool.CodecProcessPool`) for true
+    multi-core scaling past the GIL; wire bytes and plaintext stay
+    byte-identical, and the knob degrades to threads with a one-time
+    warning where shared memory is unavailable.
     ``vectored`` (default on) sends each frame as header+payload parts
     in one ``sendmsg`` via :class:`VectoredSocketWriter`; it is
     automatically disabled when ``wrap_sink`` or ``rate_limit``
@@ -377,6 +386,7 @@ def run_socket_transfer(
     receiver = ReceiverThread(
         resync=resync,
         decode_workers=decode_workers,
+        backend=backend,
         accept_timeout=accept_timeout,
         recv_timeout=recv_timeout,
         backlog=backlog,
@@ -423,10 +433,16 @@ def run_socket_transfer(
                 epoch_seconds=epoch_seconds,
                 alpha=alpha,
                 workers=workers,
+                backend=backend,
             )
         else:
             writer = StaticBlockWriter(
-                sink, static_level, levels, block_size=block_size, workers=workers
+                sink,
+                static_level,
+                levels,
+                block_size=block_size,
+                workers=workers,
+                backend=backend,
             )
 
         next_progress = PROGRESS_EVERY_BYTES

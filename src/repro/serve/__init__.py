@@ -11,7 +11,10 @@ flows, one daemon* counterpart:
   fairness and graceful drain.  All flows share one
   :class:`~repro.core.pipeline.CodecThreadPool` and one
   :class:`~repro.core.buffers.BufferPool`; accepting another flow
-  never creates another thread.
+  never creates another thread.  ``codec_backend="process"`` shards
+  flows across single-worker
+  :class:`~repro.core.procpool.CodecProcessPool` executors instead, so
+  concurrent flows compress on separate cores.
 * :mod:`~repro.serve.flow` — :class:`Flow`, the per-connection state
   machine (handshaking → streaming → draining → closed), each with its
   own :class:`~repro.core.controller.AdaptiveController` instance in
@@ -39,7 +42,7 @@ from .client import (
     ServeError,
     ServeProtocolError,
 )
-from .flow import Flow, FlowState
+from .flow import Flow, FlowState, ProcessCodecExecutor, ThreadCodecExecutor
 from .protocol import (
     MODE_ECHO,
     MODE_SINK,
@@ -63,6 +66,8 @@ __all__ = [
     "ServeProtocolError",
     "Flow",
     "FlowState",
+    "ThreadCodecExecutor",
+    "ProcessCodecExecutor",
     "Hello",
     "ProtocolError",
     "MODE_SINK",

@@ -10,6 +10,15 @@ flows.  Accepting the 17th flow therefore costs a socket and a
 what lets one daemon hold the paper's "many concurrent transfers on one
 shared bottleneck" scenario without thread-per-transfer explosion.
 
+``codec_backend="process"`` swaps the shared thread pool for per-core
+stream sharding: ``codec_shards`` single-worker
+:class:`~repro.core.procpool.CodecProcessPool` executors
+(:class:`~repro.serve.flow.ProcessCodecExecutor`), with flows assigned
+``flow_id % shards``.  Codec bytes then cross to the worker processes
+via shared-memory slabs and the GIL stops serialising concurrent
+flows' compression.  Where shared memory is unavailable the daemon
+degrades to the thread pool with a one-time warning.
+
 Responsibilities split cleanly:
 
 * the **flow** (``flow.py``) parses frames, submits codec jobs, and
@@ -46,6 +55,7 @@ from typing import Callable, Deque, Dict, List, Optional
 from ..core.buffers import BufferPool
 from ..core.levels import CompressionLevelTable, default_level_table
 from ..core.pipeline import CodecThreadPool
+from ..core.procpool import ProcessBackendUnavailable, _warn_fallback, resolve_backend
 from ..io.sockets import DEFAULT_BACKLOG, open_listener
 from ..telemetry.events import (
     BUS,
@@ -55,7 +65,7 @@ from ..telemetry.events import (
     FlowRejected,
     PipelineQueueDepth,
 )
-from .flow import Flow, FlowState
+from .flow import Flow, FlowState, ProcessCodecExecutor, ThreadCodecExecutor
 from .protocol import encode_control
 
 __all__ = ["ServeConfig", "TransferServer"]
@@ -83,6 +93,8 @@ class ServeConfig:
     max_flows: int = 64
     backlog: int = DEFAULT_BACKLOG
     codec_workers: int = 0  # 0 → min(4, cpu count), at least 2
+    codec_backend: str = "thread"  # "process" shards flows across worker processes
+    codec_shards: int = 0  # process backend: shard count (0 → codec_workers)
     max_queued_jobs: int = 0  # 0 → no queue-depth admission check
     max_inflight_blocks_per_flow: int = 4
     max_write_buffer: int = 1 << 20
@@ -103,6 +115,10 @@ class ServeConfig:
             raise ValueError("max_inflight_blocks_per_flow must be >= 1")
         if self.write_quantum < 1 or self.max_write_buffer < 1:
             raise ValueError("write_quantum and max_write_buffer must be >= 1")
+        if self.codec_backend not in ("thread", "process"):
+            raise ValueError(f"unknown codec_backend {self.codec_backend!r}")
+        if self.codec_shards < 0:
+            raise ValueError("codec_shards must be >= 0")
 
 
 class TransferServer:
@@ -135,9 +151,48 @@ class TransferServer:
         self._levels = levels or default_level_table()
         self._clock = clock
         workers = self.config.codec_workers or _default_workers()
-        self._codec_pool = codec_pool or CodecThreadPool(workers, name="repro-serve-codec")
-        self._owns_codec_pool = codec_pool is None
         self._buffer_pool = buffer_pool or BufferPool()
+
+        # Codec substrate: one shared thread pool (default), or — with
+        # ``codec_backend="process"`` — N single-worker process-pool
+        # shards that flows are assigned to round-robin, so concurrent
+        # flows' codec work runs on genuinely separate cores.  An
+        # explicitly injected ``codec_pool`` always means threads.
+        backend = self.config.codec_backend
+        if codec_pool is not None:
+            backend = "thread"
+        else:
+            backend = resolve_backend(backend, source=self.TELEMETRY_SOURCE)
+        self._codec_pool: Optional[CodecThreadPool] = None
+        self._executors: List = []
+        if backend == "process":
+            shards = self.config.codec_shards or workers
+            try:
+                for i in range(shards):
+                    self._executors.append(
+                        ProcessCodecExecutor(
+                            1,
+                            buffer_pool=self._buffer_pool,
+                            name=f"repro-serve-codec-p{i}",
+                        )
+                    )
+            except ProcessBackendUnavailable as exc:
+                # The availability probe passed but real construction
+                # did not (resource limits, races); degrade like any
+                # other unavailability instead of failing the daemon.
+                for executor in self._executors:
+                    executor.terminate()
+                self._executors = []
+                _warn_fallback(self.TELEMETRY_SOURCE, str(exc))
+                backend = "thread"
+        if backend == "thread":
+            self._codec_pool = codec_pool or CodecThreadPool(
+                workers, name="repro-serve-codec"
+            )
+            self._executors = [
+                ThreadCodecExecutor(self._codec_pool, owns_pool=codec_pool is None)
+            ]
+        self.codec_backend = backend
         default_level = (
             None if self.config.level in (None, "adaptive")
             else self._levels.index_of(self.config.level)
@@ -182,9 +237,33 @@ class TransferServer:
     # -- shared substrate (exposed for tests and telemetry) ----------
 
     @property
-    def codec_pool(self) -> CodecThreadPool:
-        """The one pool every flow's codec jobs run on."""
+    def codec_pool(self) -> Optional[CodecThreadPool]:
+        """The shared thread pool (None under the process backend)."""
         return self._codec_pool
+
+    @property
+    def codec_workers(self) -> int:
+        """Total codec workers across every executor shard."""
+        return sum(executor.workers for executor in self._executors)
+
+    @property
+    def codec_shards(self) -> int:
+        """Number of codec executor shards flows are spread across."""
+        return len(self._executors)
+
+    def codec_stats(self) -> dict:
+        """Merged codec-substrate snapshot across every shard."""
+        per_shard = [executor.stats() for executor in self._executors]
+        return {
+            "backend": self.codec_backend,
+            "shards": len(per_shard),
+            "workers": self.codec_workers,
+            "jobs_submitted": sum(s.get("jobs_submitted", 0) for s in per_shard),
+            "jobs_completed": sum(s.get("jobs_completed", 0) for s in per_shard),
+            "job_failures": sum(s.get("job_failures", 0) for s in per_shard),
+            "queued": sum(s.get("queued", 0) for s in per_shard),
+            "executors": per_shard,
+        }
 
     @property
     def buffer_pool(self) -> BufferPool:
@@ -313,7 +392,7 @@ class TransferServer:
                 conn,
                 peer=f"{addr[0]}:{addr[1]}" if isinstance(addr, tuple) else str(addr),
                 levels=self._levels,
-                codec_pool=self._codec_pool,
+                codec_pool=self._executors[flow_id % len(self._executors)],
                 buffer_pool=self._buffer_pool,
                 notify=self._notify,
                 default_level=self._default_level,
@@ -336,7 +415,7 @@ class TransferServer:
         if len(self._flows) >= self.config.max_flows:
             return "max-flows"
         limit = self.config.max_queued_jobs
-        if limit and self._codec_pool.qsize() >= limit:
+        if limit and sum(e.qsize() for e in self._executors) >= limit:
             return "codec-queue-full"
         return None
 
@@ -493,14 +572,15 @@ class TransferServer:
             self._publish_pool_stats(now)
 
     def _publish_pool_stats(self, ts: float) -> None:
-        pool = self._codec_pool
+        # Summed across shards: under the process backend each shard is
+        # its own pool, but load and capacity are daemon-wide numbers.
         BUS.publish(
             PipelineQueueDepth(
                 ts=ts,
                 source=f"{self.TELEMETRY_SOURCE}-codec",
-                depth=pool.qsize(),
-                in_flight=pool.in_flight,
-                workers=pool.workers,
+                depth=sum(e.qsize() for e in self._executors),
+                in_flight=sum(e.in_flight for e in self._executors),
+                workers=self.codec_workers,
             )
         )
         stats = self._buffer_pool.stats()
@@ -535,8 +615,8 @@ class TransferServer:
         self._waker_w.close()
         if BUS.active:
             self._publish_pool_stats(BUS.now())
-        if self._owns_codec_pool:
-            self._codec_pool.close()
+        for executor in self._executors:
+            executor.close()
 
     # -- context manager ---------------------------------------------
 

@@ -33,6 +33,7 @@ __all__ = [
     "TransferProgress",
     "PipelineQueueDepth",
     "BufferPoolStats",
+    "CodecBackendFallback",
     "BackoffUpdated",
     "FaultInjected",
     "BlockSkipped",
@@ -140,6 +141,23 @@ class BufferPoolStats(TelemetryEvent):
     misses: int
     oversize: int
     free_slabs: int
+
+
+@dataclass(frozen=True, slots=True)
+class CodecBackendFallback(TelemetryEvent):
+    """A requested codec backend was unavailable and got substituted.
+
+    Emitted (at most once per process per reason) when
+    ``backend="process"`` was requested but
+    ``multiprocessing.shared_memory`` or a usable start method is
+    missing, so the pipeline silently ran threads instead.  ``reason``
+    is a short human-readable cause string.
+    """
+
+    source: str
+    requested: str
+    resolved: str
+    reason: str
 
 
 @dataclass(frozen=True, slots=True)
@@ -261,6 +279,7 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     TransferProgress,
     PipelineQueueDepth,
     BufferPoolStats,
+    CodecBackendFallback,
     BackoffUpdated,
     FaultInjected,
     BlockSkipped,

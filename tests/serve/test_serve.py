@@ -22,7 +22,9 @@ from repro.serve import (
     TransferServer,
 )
 from repro.serve.protocol import encode_hello, parse_control
+from repro.core import procpool
 from repro.core.pipeline import CodecThreadPool
+from repro.core.procpool import process_backend_available
 from repro.telemetry.events import (
     BUS,
     BufferPoolStats,
@@ -385,3 +387,95 @@ class TestTelemetry:
             srv.stop(drain=True, timeout=10.0)
         BUS.subscribe(events.append)  # subscribed only after the fact
         assert events == []
+
+
+class TestProcessBackend:
+    """The daemon's per-core codec sharding (codec_backend="process")."""
+
+    @pytest.fixture()
+    def proc_server(self):
+        if not process_backend_available():
+            pytest.skip("process backend unavailable on this platform")
+        srv = TransferServer(
+            ServeConfig(
+                port=0,
+                max_flows=16,
+                codec_workers=2,
+                codec_backend="process",
+                codec_shards=2,
+            )
+        ).start()
+        yield srv
+        srv.stop(drain=False)
+
+    def test_upload_and_echo_verified(self, proc_server, payload):
+        assert proc_server.codec_backend == "process"
+        assert proc_server.codec_shards == 2
+        assert proc_server.codec_pool is None  # no shared thread pool
+        result = _client(proc_server).upload(payload)
+        assert result.trailer["ok"] is True
+        assert result.trailer["app_bytes"] == len(payload)
+        echoed = _client(proc_server).echo(payload, server_level="MEDIUM")
+        assert echoed.data == payload
+
+    def test_flows_shard_across_executors(self, proc_server, payload):
+        for _ in range(4):
+            assert _client(proc_server).upload(payload).trailer["ok"] is True
+        stats = proc_server.codec_stats()
+        assert stats["backend"] == "process"
+        assert stats["shards"] == 2
+        assert stats["job_failures"] == 0
+        # Round-robin by flow id: four flows over two shards must have
+        # exercised both of them.
+        assert all(s["jobs_submitted"] > 0 for s in stats["executors"])
+
+    def test_concurrent_process_backend_flows(self, proc_server, payload):
+        errors: list = []
+
+        def run():
+            try:
+                result = _client(proc_server).upload(payload)
+                assert result.trailer["ok"] is True
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not errors
+
+    def test_unavailable_backend_degrades_to_threads(self, payload):
+        saved = procpool._availability
+        procpool._availability = (False, "forced-by-test")
+        procpool._fallback_warned.clear()
+        try:
+            srv = TransferServer(
+                ServeConfig(port=0, codec_workers=2, codec_backend="process")
+            ).start()
+            try:
+                assert srv.codec_backend == "thread"
+                assert srv.codec_pool is not None
+                result = _client(srv).upload(payload)
+                assert result.trailer["ok"] is True
+            finally:
+                srv.stop(drain=True, timeout=15.0)
+        finally:
+            procpool._availability = saved
+            procpool._fallback_warned.clear()
+
+    def test_stop_unlinks_all_segments(self, payload):
+        if not process_backend_available():
+            pytest.skip("process backend unavailable on this platform")
+        srv = TransferServer(
+            ServeConfig(
+                port=0, codec_workers=2, codec_backend="process", codec_shards=2
+            )
+        ).start()
+        names = [ex.pool._slabs.name for ex in srv._executors]
+        _client(srv).upload(payload)
+        srv.stop(drain=True, timeout=15.0)
+        if os.path.isdir("/dev/shm"):
+            for name in names:
+                assert not os.path.exists(os.path.join("/dev/shm", name))
