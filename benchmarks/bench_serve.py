@@ -28,11 +28,21 @@ substrate (``ServeConfig(codec_backend="process")``), so one artifact
 records the serve-layer threads-vs-processes crossover; each round
 notes the backend/shards/workers its daemon actually resolved.
 
+``--control`` switches to the contended-fleet axis instead: a fixed
+flow count on a deliberately capped codec pool, once per fleet policy
+(uncontrolled, fair-share, greedy-throughput), written to
+``BENCH_control.json``.  Its gate asserts that turning the fair-share
+control plane on never costs more than 5 % of the uncontrolled
+aggregate throughput — the controller must be free when it has nothing
+to say.  Each policy keeps the best of ``--repeats`` rounds, so the
+ratio compares substrates, not scheduler jitter.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
         [--backend thread|process|both]
         [--mib 8] [--shards N] [--out BENCH_serve.json]
+        [--control] [--repeats 2] [--control-out BENCH_control.json]
 """
 
 from __future__ import annotations
@@ -51,6 +61,10 @@ from repro.serve import ServeClient, ServeConfig, TransferServer
 
 FLOW_COUNTS = (1, 4, 16)
 
+#: Contended-fleet axis: enough flows to oversubscribe the capped pool.
+CONTROL_FLOWS = 8
+CONTROL_POLICIES = (None, "fair-share", "greedy-throughput")
+
 
 def run_round(
     data: bytes,
@@ -58,6 +72,8 @@ def run_round(
     codec_workers: int,
     backend: str = "thread",
     shards: int = 0,
+    policy: str | None = None,
+    control_interval: float = 1.0,
 ) -> dict:
     """One daemon, ``flows`` concurrent uploads; aggregate + per-flow stats."""
     server = TransferServer(
@@ -67,6 +83,8 @@ def run_round(
             codec_workers=codec_workers,
             codec_backend=backend,
             codec_shards=shards,
+            policy=policy,
+            control_interval=control_interval,
         )
     ).start()
     host, port = server.address
@@ -93,12 +111,15 @@ def run_round(
     codec_workers_resolved = server.codec_workers
     codec_backend_resolved = server.codec_backend
     codec_shards_resolved = server.codec_shards
+    rebalances = server.controller.rebalances if server.controller else 0
     server.stop(drain=True, timeout=30.0)
 
     flow_seconds = [r.seconds for r in results if r is not None]
     total_app = len(data) * len(flow_seconds)
     return {
         "flows": flows,
+        "policy": policy or "uncontrolled",
+        "rebalances": rebalances,
         "completed": len(flow_seconds),
         "codec_workers_resolved": codec_workers_resolved,
         "codec_backend": codec_backend_resolved,
@@ -204,6 +225,103 @@ def check_gate(payload: dict) -> list[str]:
     return failures
 
 
+def run_control_matrix(
+    mib: int,
+    codec_workers: int,
+    flow_count: int = CONTROL_FLOWS,
+    policies=CONTROL_POLICIES,
+    repeats: int = 2,
+) -> dict:
+    """Contended fleet, one best-of-``repeats`` round per fleet policy.
+
+    The pool is capped at two workers regardless of the host so the
+    flows genuinely contend, which is the regime the control plane
+    exists for — on an idle many-core box the policies would never be
+    asked to arbitrate anything.
+    """
+    data = generate(Compressibility.MODERATE, mib * 2**20, seed=13)
+    workers = codec_workers or 2
+    rounds = []
+    for policy in policies:
+        best = None
+        for _ in range(max(1, repeats)):
+            cell = run_round(
+                data,
+                flow_count,
+                workers,
+                policy=policy,
+                control_interval=0.25,
+            )
+            if best is None or (
+                not cell["errors"]
+                and cell["aggregate_mb_per_s"] > best["aggregate_mb_per_s"]
+            ):
+                best = cell
+        rounds.append(best)
+        print(
+            f"  policy={best['policy']:18s} aggregate "
+            f"{best['aggregate_mb_per_s']:8.1f} MB/s  "
+            f"wall {best['wall_seconds']:.2f}s  "
+            f"rebalances {best['rebalances']}  "
+            f"completed {best['completed']}/{flow_count}",
+            flush=True,
+        )
+    return {
+        "meta": {
+            "axis": "contended-fleet",
+            "payload_mib_per_flow": mib,
+            "flow_count": flow_count,
+            "codec_workers": workers,
+            "repeats": repeats,
+            **core_info(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "rounds": rounds,
+    }
+
+
+def _policy_round(payload: dict, policy: str) -> dict:
+    for cell in payload["rounds"]:
+        if cell["policy"] == policy:
+            return cell
+    raise KeyError(f"no round for policy={policy}")
+
+
+def check_control_gate(payload: dict) -> list[str]:
+    """Return failure messages for the contended-fleet axis."""
+    failures = []
+    for cell in payload["rounds"]:
+        if cell["completed"] != cell["flows"] or cell["errors"]:
+            failures.append(
+                f"policy={cell['policy']}: only {cell['completed']} of "
+                f"{cell['flows']} flows completed verified "
+                f"({cell['errors'][:2]})"
+            )
+        if cell["server_failed_flows"]:
+            failures.append(
+                f"policy={cell['policy']}: server reported "
+                f"{cell['server_failed_flows']} failed flows"
+            )
+    if failures:
+        return failures
+    base = _policy_round(payload, "uncontrolled")["aggregate_mb_per_s"]
+    if base <= 0:
+        return ["uncontrolled round produced no throughput sample"]
+    fair = _policy_round(payload, "fair-share")
+    if fair["aggregate_mb_per_s"] < 0.95 * base:
+        failures.append(
+            f"fair-share collapsed the fleet: {fair['aggregate_mb_per_s']:.1f} "
+            f"MB/s vs {base:.1f} MB/s uncontrolled (floor 95%)"
+        )
+    if fair["rebalances"] == 0:
+        failures.append(
+            "fair-share round recorded zero policy passes — the control "
+            "plane never ran, so the ratio proves nothing"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -228,9 +346,44 @@ def main(argv=None) -> int:
         help="process-backend codec shards (0 = one per codec worker)",
     )
     parser.add_argument("--out", default="BENCH_serve.json", help="JSON output path")
+    parser.add_argument(
+        "--control",
+        action="store_true",
+        help="run the contended-fleet policy axis instead of the scaling matrix",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="control axis: rounds per policy, best kept",
+    )
+    parser.add_argument(
+        "--control-out",
+        default="BENCH_control.json",
+        help="control-axis JSON output path",
+    )
     args = parser.parse_args(argv)
 
     mib = args.mib or (2 if args.quick else 8)
+    if args.control:
+        print(
+            f"contended-fleet benchmark: {mib} MiB/flow, "
+            f"{CONTROL_FLOWS} flows on a capped pool, "
+            f"policies={[p or 'uncontrolled' for p in CONTROL_POLICIES]}, "
+            f"usable cores={core_info()['usable_cores']}",
+            flush=True,
+        )
+        payload = run_control_matrix(mib, args.workers, repeats=args.repeats)
+        with open(args.control_out, "w") as fp:
+            json.dump(payload, fp, indent=2)
+        print(f"matrix written to {args.control_out}")
+        failures = check_control_gate(payload)
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        if not failures:
+            print("gate passed")
+        return 1 if failures else 0
+
     backends = resolve_backends(args.backend)
     print(
         f"serve benchmark: {mib} MiB/flow at {FLOW_COUNTS} concurrent flows, "

@@ -1,0 +1,41 @@
+"""repro.control — the cross-flow control plane (fleet-level decisions).
+
+The paper's Algorithm 1 decides per flow in isolation; this package
+decides *across* flows sharing one CPU budget, one codec pool and one
+NIC (ROADMAP item 2, shaped after ADARES — see PAPERS.md).
+
+* :mod:`~repro.control.policies` — :class:`AllocationPolicy` interface
+  plus the fair-share / greedy-throughput / hill-climb references.
+* :mod:`~repro.control.controller` — :class:`FleetController`, which
+  turns telemetry (bus events or direct sim calls) into per-flow
+  :class:`Assignment`\\ s via a host-provided actuator.
+
+See docs/control.md for the architecture and how to add a policy.
+"""
+
+from .controller import FleetController, FlowState
+from .policies import (
+    POLICIES,
+    AllocationPolicy,
+    Assignment,
+    FairSharePolicy,
+    FleetView,
+    FlowSnapshot,
+    GreedyThroughputPolicy,
+    HillClimbPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "FleetController",
+    "FlowState",
+    "AllocationPolicy",
+    "Assignment",
+    "FleetView",
+    "FlowSnapshot",
+    "FairSharePolicy",
+    "GreedyThroughputPolicy",
+    "HillClimbPolicy",
+    "POLICIES",
+    "make_policy",
+]

@@ -22,6 +22,7 @@ from .levels import (
     default_level_table,
 )
 from .buffers import DEFAULT_SLAB_SIZE, BufferPool, PooledBuffer
+from .flowview import FlowDecision, FlowView
 from .pipeline import (
     ParallelBlockDecoder,
     ParallelBlockEncoder,
@@ -42,6 +43,8 @@ __all__ = [
     "BackoffTable",
     "AdaptiveController",
     "EpochRecord",
+    "FlowView",
+    "FlowDecision",
     "RateMeter",
     "RateWindow",
     "EpochSample",

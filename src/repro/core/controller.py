@@ -1,4 +1,4 @@
-"""The adaptive controller: epoch clock + decision model + trace.
+"""The adaptive controller: epoch clock + decision scheme + trace.
 
 This is the piece both execution environments share.  The real I/O path
 (:mod:`repro.io`, :mod:`repro.nephele`) calls :meth:`AdaptiveController.record`
@@ -7,17 +7,32 @@ with wall-clock time; the simulator (:mod:`repro.sim.transfer`) drives
 the very same class with simulated time.  Keeping a single controller
 implementation is what makes the simulation results statements about
 the *algorithm* rather than about a re-implementation of it.
+
+Since the control-plane refactor the controller no longer owns a bare
+:class:`~repro.core.decision.DecisionModel` — it drives any
+:class:`~repro.schemes.base.CompressionScheme` through the uniform
+:class:`~repro.core.flowview.FlowView` /
+:class:`~repro.core.flowview.FlowDecision` interface.  The default
+scheme is the paper's rate-based one, constructed with the same
+parameters as before, so decisions are byte-for-byte identical to the
+pre-refactor path (``model.observe(sample.rate)``).  A fleet controller
+may additionally pin the applied level via :meth:`set_level_override`;
+the scheme keeps learning open-loop while pinned.
 """
 
 from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..telemetry.events import BUS, EpochClosed, LevelSwitched
-from .decision import DEFAULT_ALPHA, DEFAULT_EPOCH_SECONDS, DecisionModel
+from .decision import DEFAULT_ALPHA, DEFAULT_EPOCH_SECONDS
+from .flowview import FlowView
 from .rate import EpochSample, RateMeter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..schemes.base import CompressionScheme
 
 logger = logging.getLogger(__name__)
 
@@ -50,12 +65,20 @@ class AdaptiveController:
     epoch_seconds:
         The paper's ``t`` (default 2 s).
     alpha:
-        The paper's dead-band parameter (default 0.2).
+        The paper's dead-band parameter (default 0.2).  Only used when
+        constructing the default scheme.
     initial_level:
-        Starting level; the paper starts at 0 (no compression).
+        Starting level; the paper starts at 0 (no compression).  Only
+        used when constructing the default scheme.
     clock_start:
         Timestamp of the first epoch's start, in whatever clock the
         caller uses (wall seconds or simulated seconds).
+    scheme:
+        Decision scheme to drive; defaults to the paper's
+        ``RateBasedScheme(n_levels, alpha=alpha, initial_level=initial_level)``.
+    flow_id:
+        Identity stamped into the per-epoch :class:`FlowView` (0 for a
+        lone flow; the serve layer passes the real flow id).
     """
 
     def __init__(
@@ -65,18 +88,53 @@ class AdaptiveController:
         alpha: float = DEFAULT_ALPHA,
         initial_level: int = 0,
         clock_start: float = 0.0,
+        scheme: Optional["CompressionScheme"] = None,
+        flow_id: int = 0,
     ) -> None:
         if epoch_seconds <= 0:
             raise ValueError("epoch_seconds must be positive")
         self.epoch_seconds = epoch_seconds
-        self.model = DecisionModel(n_levels, alpha=alpha, initial_level=initial_level)
+        if scheme is None:
+            # Imported lazily: repro.schemes imports repro.core.flowview,
+            # so a module-level import here would be a cycle.
+            from ..schemes.rate_based import RateBasedScheme
+
+            scheme = RateBasedScheme(
+                n_levels, alpha=alpha, initial_level=initial_level
+            )
+        self.scheme = scheme
+        self.n_levels = n_levels
+        self.flow_id = flow_id
         self.meter = RateMeter(clock_start=clock_start)
         self.trace: List[EpochRecord] = []
         self._epoch_index = 0
+        self._override: Optional[int] = None
+
+    @property
+    def model(self):
+        """The inner DecisionModel, when the scheme has one (compat)."""
+        return getattr(self.scheme, "model", None)
 
     @property
     def current_level(self) -> int:
-        return self.model.current_level
+        if self._override is not None:
+            return self._override
+        return self.scheme.current_level
+
+    @property
+    def level_override(self) -> Optional[int]:
+        return self._override
+
+    def set_level_override(self, level: Optional[int]) -> None:
+        """Pin the applied level (clamped), or ``None`` to release.
+
+        While pinned the scheme still observes every epoch, so its rate
+        estimates and backoff state stay warm for release.
+        """
+        if level is None:
+            self._override = None
+        else:
+            self._override = min(max(int(level), 0), self.n_levels - 1)
 
     @property
     def total_bytes(self) -> int:
@@ -101,8 +159,21 @@ class AdaptiveController:
     def force_decision(self, now: float) -> EpochRecord:
         """Close the epoch at ``now`` unconditionally and re-decide."""
         sample: EpochSample = self.meter.close_epoch(now)
-        level_before = self.model.current_level
-        level_after = self.model.observe(sample.rate)
+        level_before = self.current_level
+        view = FlowView(
+            now=sample.end,
+            epoch_seconds=max(sample.end - sample.start, 0.0),
+            app_rate=sample.rate,
+            displayed_cpu_util=0.0,
+            displayed_bandwidth=0.0,
+            flow_id=self.flow_id,
+            level=level_before,
+            app_bytes=float(sample.nbytes),
+        )
+        decision = self.scheme.decide(view)
+        level_after = (
+            self._override if self._override is not None else decision.level_after
+        )
         record = EpochRecord(
             epoch=self._epoch_index,
             start=sample.start,
@@ -111,7 +182,7 @@ class AdaptiveController:
             app_rate=sample.rate,
             level_before=level_before,
             level_after=level_after,
-            backoff_snapshot=self.model.state.bck.snapshot(),
+            backoff_snapshot=self.scheme.backoff_snapshot(),
         )
         self.trace.append(record)
         self._epoch_index += 1

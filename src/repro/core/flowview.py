@@ -1,0 +1,88 @@
+"""Uniform observation/decision interface for the decision layer.
+
+Every scheme in :mod:`repro.schemes` consumes a :class:`FlowView` — an
+explicit, immutable snapshot of what one flow observed during an epoch —
+and produces a :class:`FlowDecision`.  Before this module existed each
+consumer (sim transfer loop, serve flows, replay traces) assembled its
+own ad-hoc observation and read the chosen level back out of scheme
+internals; lifting the snapshot into one frozen dataclass is what lets
+a fleet-level controller (:mod:`repro.control`) reason about many flows
+uniformly, and what makes replay traces self-contained.
+
+``FlowView`` is a strict superset of the original per-flow
+``EpochObservation``: the first seven fields are unchanged (and keep
+their epistemics — ``app_rate`` is measured and trustworthy, the
+``displayed_*`` fields are whatever the virtualized OS shows, which
+Section II of the paper demonstrates can be off by an order of
+magnitude).  The added fields default to single-flow values so every
+pre-existing call site and on-disk trace keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FlowView", "FlowDecision"]
+
+
+@dataclass(frozen=True)
+class FlowView:
+    """Everything a decision scheme may look at, once per epoch."""
+
+    #: Simulation/wall time at the end of the epoch (seconds).
+    now: float
+    #: Length of the epoch (the paper's ``t``).
+    epoch_seconds: float
+    #: Application data rate achieved during the epoch (bytes/s) —
+    #: the *only* input of the paper's scheme.
+    app_rate: float
+    #: CPU utilization (percent, 0-100+) as displayed inside the VM.
+    displayed_cpu_util: float
+    #: Available I/O bandwidth (bytes/s) as estimated from inside the VM.
+    displayed_bandwidth: float
+    #: Growth rate of the compression→send queue (bytes/s; positive
+    #: means compression outpaces the network).  For queue-based schemes.
+    queue_slope: float = 0.0
+    #: The compressibility ratio observed on the last blocks, if the
+    #: scheme samples it (None when not measured).
+    observed_ratio: Optional[float] = None
+
+    # --- fleet context (defaults describe a lone, unmanaged flow) ---
+
+    #: Identity of the flow this snapshot describes (0 = only flow).
+    flow_id: int = 0
+    #: Compression level that was applied during the epoch.
+    level: int = 0
+    #: Application bytes moved during the epoch.
+    app_bytes: float = 0.0
+    #: Jobs queued in the shared codec pool when the epoch closed.
+    codec_queue_depth: int = 0
+    #: Size of the shared codec-worker pool (0 = unknown/none).
+    codec_workers: int = 0
+    #: Concurrent flows sharing the pool/link when the epoch closed.
+    active_flows: int = 1
+    #: Share of codec capacity currently granted to this flow (1.0 =
+    #: full, fleet controllers may shrink it).
+    worker_weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class FlowDecision:
+    """One scheme decision, annotated with the flow it applies to.
+
+    ``weight`` is the codec-worker share the decision layer requests for
+    the next epoch; plain per-flow schemes always say 1.0 and only the
+    fleet controller's assignments change it.
+    """
+
+    flow_id: int
+    epoch: int
+    level_before: int
+    level_after: int
+    weight: float = 1.0
+    reason: str = ""
+
+    @property
+    def level_changed(self) -> bool:
+        return self.level_after != self.level_before

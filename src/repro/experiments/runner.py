@@ -37,6 +37,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-pipeline": extensions.run_pipeline,
     "ext-faults": extensions.run_faults,
     "ext-decode": extensions.run_decode,
+    "ext-control": extensions.run_control,
 }
 
 PAPER_SET = ("fig1", "fig2", "fig3", "table2", "fig4", "fig5", "fig6")

@@ -139,6 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds before an inactive flow is dropped (0 = never)",
     )
     serve.add_argument(
+        "--policy",
+        default=None,
+        help="fleet allocation policy (fair-share, greedy-throughput, "
+        "hill-climb); default: per-flow adaptation only",
+    )
+    serve.add_argument(
+        "--control-interval",
+        type=float,
+        default=1.0,
+        help="seconds between fleet policy passes (with --policy)",
+    )
+    serve.add_argument(
         "--drain-timeout",
         type=float,
         default=30.0,
@@ -206,6 +218,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         codec_shards=args.shards,
         level=args.level,
         idle_timeout=args.idle_timeout,
+        policy=args.policy,
+        control_interval=args.control_interval,
     )
     server = TransferServer(config)
 

@@ -1,6 +1,7 @@
 """Decision-scheme zoo: the paper's scheme, static levels, related work."""
 
-from .base import CompressionScheme, EpochObservation
+from .base import CompressionScheme, EpochObservation, FlowDecision, FlowView
+from .managed import ManagedScheme
 from .memory import MemoryRateScheme
 from .nctcsys import ThresholdScheme
 from .queue_based import QueueBasedScheme
@@ -12,6 +13,9 @@ from .static import StaticScheme
 __all__ = [
     "CompressionScheme",
     "EpochObservation",
+    "FlowView",
+    "FlowDecision",
+    "ManagedScheme",
     "StaticScheme",
     "RateBasedScheme",
     "SmoothedRateScheme",

@@ -7,43 +7,40 @@ the paper's Algorithm 1, static baselines, and re-implementations of
 the related-work models — implements :class:`CompressionScheme`, so the
 simulator's transfer process can drive any of them interchangeably.
 
-Each epoch the scheme receives an :class:`EpochObservation`.  Note the
-epistemics encoded in its fields: ``app_rate`` is directly measured by
-the application and therefore trustworthy; the ``displayed_*`` fields
-are whatever the (virtualized) operating system shows, which Section II
-demonstrates can be wrong by an order of magnitude.  Schemes that rely
-on displayed metrics inherit that error — reproducing it is the point
-of the `ablate-metrics` experiment.
+Each epoch the scheme receives a :class:`~repro.core.flowview.FlowView`
+(historically named :data:`EpochObservation`; the old name remains a
+first-class alias).  Note the epistemics encoded in its fields:
+``app_rate`` is directly measured by the application and therefore
+trustworthy; the ``displayed_*`` fields are whatever the (virtualized)
+operating system shows, which Section II demonstrates can be wrong by
+an order of magnitude.  Schemes that rely on displayed metrics inherit
+that error — reproducing it is the point of the `ablate-metrics`
+experiment.
+
+Two entry points:
+
+* :meth:`CompressionScheme.on_epoch` — the historical contract, returns
+  the bare next level.  All concrete schemes implement this.
+* :meth:`CompressionScheme.decide` — the uniform contract consumed by
+  controllers and replay: wraps ``on_epoch`` and returns a full
+  :class:`~repro.core.flowview.FlowDecision` record.  ``decide`` calls
+  ``on_epoch`` exactly once with the unmodified view, so the two paths
+  produce byte-for-byte identical level sequences.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional
+from typing import List
 
+from ..core.flowview import FlowDecision, FlowView
 
-@dataclass(frozen=True)
-class EpochObservation:
-    """Everything a decision scheme may look at, once per epoch."""
+#: Historical name for the per-epoch observation snapshot.  Kept as a
+#: true alias (not a subclass) so isinstance checks and trace payloads
+#: are interchangeable between the two names.
+EpochObservation = FlowView
 
-    #: Simulation/wall time at the end of the epoch (seconds).
-    now: float
-    #: Length of the epoch (the paper's ``t``).
-    epoch_seconds: float
-    #: Application data rate achieved during the epoch (bytes/s) —
-    #: the *only* input of the paper's scheme.
-    app_rate: float
-    #: CPU utilization (percent, 0-100+) as displayed inside the VM.
-    displayed_cpu_util: float
-    #: Available I/O bandwidth (bytes/s) as estimated from inside the VM.
-    displayed_bandwidth: float
-    #: Growth rate of the compression→send queue (bytes/s; positive
-    #: means compression outpaces the network).  For queue-based schemes.
-    queue_slope: float = 0.0
-    #: The compressibility ratio observed on the last blocks, if the
-    #: scheme samples it (None when not measured).
-    observed_ratio: Optional[float] = None
+__all__ = ["CompressionScheme", "EpochObservation", "FlowView", "FlowDecision"]
 
 
 class CompressionScheme(abc.ABC):
@@ -56,6 +53,7 @@ class CompressionScheme(abc.ABC):
         if n_levels < 1:
             raise ValueError("need at least one level")
         self.n_levels = n_levels
+        self._decision_epoch = 0
 
     @property
     @abc.abstractmethod
@@ -65,6 +63,28 @@ class CompressionScheme(abc.ABC):
     @abc.abstractmethod
     def on_epoch(self, obs: EpochObservation) -> int:
         """Consume one epoch's observation; return the next level."""
+
+    def decide(self, view: FlowView) -> FlowDecision:
+        """Consume one epoch's view; return the full decision record.
+
+        Identical decision sequence to calling :meth:`on_epoch`
+        directly — this wrapper only adds bookkeeping (epoch counter,
+        before/after levels, flow identity) around the same single call.
+        """
+        level_before = self.current_level
+        level_after = self.on_epoch(view)
+        decision = FlowDecision(
+            flow_id=view.flow_id,
+            epoch=self._decision_epoch,
+            level_before=level_before,
+            level_after=level_after,
+        )
+        self._decision_epoch += 1
+        return decision
+
+    def backoff_snapshot(self) -> List[int]:
+        """Per-level backoff counters, for traces (empty if stateless)."""
+        return []
 
     def _clamp(self, level: int) -> int:
         return min(max(level, 0), self.n_levels - 1)

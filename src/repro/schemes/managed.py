@@ -1,0 +1,56 @@
+"""A scheme wrapper that accepts externally-pushed level overrides.
+
+The fleet controller (:mod:`repro.control`) does not replace per-flow
+adaptation — it *supervises* it.  ``ManagedScheme`` wraps any
+:class:`~repro.schemes.base.CompressionScheme` and exposes
+:meth:`set_override`:
+
+* override unset → decisions pass through the inner scheme unchanged
+  (byte-for-byte identical to running it unmanaged);
+* override set → the pinned level is applied, while the inner scheme
+  keeps observing epochs open-loop so its rate estimates and backoff
+  state stay warm for the moment the controller releases the pin.
+
+The open-loop learning matters: a controller that pins a flow at NO for
+a minute must be able to hand control back without the inner scheme
+re-learning from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import CompressionScheme, EpochObservation
+
+
+class ManagedScheme(CompressionScheme):
+    """Delegate to an inner scheme unless an override level is pinned."""
+
+    def __init__(self, inner: CompressionScheme) -> None:
+        super().__init__(inner.n_levels)
+        self.inner = inner
+        self.name = f"MANAGED({inner.name})"
+        self._override: Optional[int] = None
+
+    @property
+    def override(self) -> Optional[int]:
+        return self._override
+
+    def set_override(self, level: Optional[int]) -> None:
+        """Pin the level (clamped to the ladder), or ``None`` to release."""
+        self._override = None if level is None else self._clamp(int(level))
+
+    @property
+    def current_level(self) -> int:
+        if self._override is not None:
+            return self._override
+        return self.inner.current_level
+
+    def on_epoch(self, obs: EpochObservation) -> int:
+        inner_next = self.inner.on_epoch(obs)
+        if self._override is not None:
+            return self._override
+        return inner_next
+
+    def backoff_snapshot(self) -> List[int]:
+        return self.inner.backoff_snapshot()

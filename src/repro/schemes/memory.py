@@ -67,6 +67,9 @@ class MemoryRateScheme(CompressionScheme):
     def current_level(self) -> int:
         return self._level
 
+    def backoff_snapshot(self) -> List[int]:
+        return self._bck.snapshot()
+
     # -- estimate bookkeeping -----------------------------------------
 
     #: Maximum relative movement of an estimate per epoch.  A single

@@ -32,3 +32,6 @@ class RateBasedScheme(CompressionScheme):
     def on_epoch(self, obs: EpochObservation) -> int:
         # Deliberately blind to every displayed metric.
         return self.model.observe(obs.app_rate)
+
+    def backoff_snapshot(self) -> list:
+        return self.model.state.bck.snapshot()

@@ -12,19 +12,39 @@ signals but does not get to change them.  That makes replay exact for
 analyzing what a scheme *would have seen and chosen* at each recorded
 step, and a quick first-order screen before a full (closed-loop)
 simulation.
+
+Trace format versions
+---------------------
+
+* **v1** — one :class:`EpochObservation` dict per line (the original
+  seven fields).  Still loads: missing :class:`FlowView` fleet fields
+  fill from their lone-flow defaults.
+* **v2** (current) — one record per line with the full ``FlowView``
+  under the observation keys, plus an optional ``"decision"``
+  sub-object (the :class:`~repro.core.flowview.FlowDecision` the
+  original scheme took at that step).  Recording decisions alongside
+  views makes postmortem traces self-contained: a replay can be
+  checked against what actually happened, not just against another
+  replay.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
-from typing import IO, Iterable, Iterator, List, Sequence
+from dataclasses import asdict, fields
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..core.flowview import FlowDecision
 from ..sim.transfer import TransferResult
 from .base import CompressionScheme, EpochObservation
 
 #: Format marker written as the first line of every trace file.
-HEADER = {"format": "repro-observation-trace", "version": 1}
+HEADER = {"format": "repro-observation-trace", "version": 2}
+
+#: Trace versions :func:`load_trace` accepts.
+SUPPORTED_VERSIONS = (1, 2)
+
+_VIEW_FIELDS = frozenset(f.name for f in fields(EpochObservation))
 
 
 class TraceFormatError(Exception):
@@ -40,23 +60,68 @@ def observations_from_result(result: TransferResult) -> List[EpochObservation]:
             app_rate=epoch.app_rate,
             displayed_cpu_util=epoch.vm_cpu_util,
             displayed_bandwidth=epoch.displayed_bandwidth,
+            level=epoch.level,
         )
         for epoch in result.epochs
     ]
 
 
-def dump_trace(observations: Iterable[EpochObservation], fp: IO[str]) -> int:
-    """Write observations as JSON-lines; returns the number written."""
+def decisions_from_result(result: TransferResult, flow_id: int = 0) -> List[FlowDecision]:
+    """Extract the decision sequence actually taken during a transfer."""
+    return [
+        FlowDecision(
+            flow_id=flow_id,
+            epoch=i,
+            level_before=epoch.level,
+            level_after=epoch.next_level,
+        )
+        for i, epoch in enumerate(result.epochs)
+    ]
+
+
+def dump_trace(
+    observations: Iterable[EpochObservation],
+    fp: IO[str],
+    decisions: Optional[Sequence[FlowDecision]] = None,
+) -> int:
+    """Write observations (and optionally the decisions taken on them)
+    as JSON-lines; returns the number of records written.
+
+    When ``decisions`` is given it must align index-for-index with the
+    observations; each record then carries a ``"decision"`` sub-object.
+    """
     fp.write(json.dumps(HEADER) + "\n")
     count = 0
-    for obs in observations:
-        fp.write(json.dumps(asdict(obs)) + "\n")
+    for i, obs in enumerate(observations):
+        record = asdict(obs)
+        if decisions is not None:
+            try:
+                record["decision"] = asdict(decisions[i])
+            except IndexError:
+                raise TraceFormatError(
+                    f"decision sequence shorter than observations (at index {i})"
+                ) from None
+        fp.write(json.dumps(record) + "\n")
         count += 1
     return count
 
 
-def load_trace(fp: IO[str]) -> Iterator[EpochObservation]:
-    """Stream observations back from a JSON-lines trace file."""
+def _parse_record(payload: dict) -> Tuple[EpochObservation, Optional[FlowDecision]]:
+    decision_payload = payload.pop("decision", None)
+    unknown = set(payload) - _VIEW_FIELDS
+    if unknown:
+        raise TypeError(f"unknown observation fields {sorted(unknown)}")
+    obs = EpochObservation(**payload)
+    decision = FlowDecision(**decision_payload) if decision_payload else None
+    return obs, decision
+
+
+def load_records(fp: IO[str]) -> Iterator[Tuple[EpochObservation, Optional[FlowDecision]]]:
+    """Stream ``(observation, decision-or-None)`` pairs from a trace.
+
+    Accepts both v1 traces (observations only; decision is ``None``)
+    and v2 traces (which may carry recorded decisions).
+    """
     header_line = fp.readline()
     if not header_line:
         raise TraceFormatError("empty trace file")
@@ -66,7 +131,7 @@ def load_trace(fp: IO[str]) -> Iterator[EpochObservation]:
         raise TraceFormatError(f"bad header: {exc}") from exc
     if header.get("format") != HEADER["format"]:
         raise TraceFormatError(f"not an observation trace: {header!r}")
-    if header.get("version") != HEADER["version"]:
+    if header.get("version") not in SUPPORTED_VERSIONS:
         raise TraceFormatError(f"unsupported trace version {header.get('version')}")
     for lineno, line in enumerate(fp, start=2):
         line = line.strip()
@@ -74,9 +139,15 @@ def load_trace(fp: IO[str]) -> Iterator[EpochObservation]:
             continue
         try:
             payload = json.loads(line)
-            yield EpochObservation(**payload)
+            yield _parse_record(payload)
         except (json.JSONDecodeError, TypeError) as exc:
             raise TraceFormatError(f"bad record on line {lineno}: {exc}") from exc
+
+
+def load_trace(fp: IO[str]) -> Iterator[EpochObservation]:
+    """Stream observations back from a JSON-lines trace file (v1 or v2)."""
+    for obs, _decision in load_records(fp):
+        yield obs
 
 
 def replay(
@@ -85,6 +156,19 @@ def replay(
 ) -> List[int]:
     """Feed a trace through ``scheme``; return its level per epoch."""
     return [scheme.on_epoch(obs) for obs in observations]
+
+
+def replay_decisions(
+    observations: Sequence[EpochObservation] | Iterable[EpochObservation],
+    scheme: CompressionScheme,
+) -> List[FlowDecision]:
+    """Feed a trace through ``scheme`` via the uniform ``decide`` path.
+
+    Returns the full decision records; ``[d.level_after for d in ...]``
+    equals :func:`replay` on a fresh scheme instance — the parity the
+    hypothesis suite pins down.
+    """
+    return [scheme.decide(obs) for obs in observations]
 
 
 def replay_many(

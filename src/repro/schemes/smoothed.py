@@ -62,3 +62,6 @@ class SmoothedRateScheme(CompressionScheme):
             )
         self._last_measured_level = measured_level
         return self.model.observe(self._ewma)
+
+    def backoff_snapshot(self) -> list:
+        return self.model.state.bck.snapshot()

@@ -78,6 +78,9 @@ class FlowResult:
     seconds: float
     trailer: Dict[str, object] = field(default_factory=dict)
     data: Optional[bytes] = None  #: echoed plaintext (echo mode only)
+    #: In-band ``{"ctl": ...}`` frames the server pushed mid-flow
+    #: (fleet-controller rebalances), in arrival order.
+    controls: list = field(default_factory=list)
 
     @property
     def compression_ratio(self) -> float:
@@ -186,7 +189,7 @@ class ServeClient:
             crc, app_bytes, sent = self._stream_up(
                 sock, source, level, block_size, workers, epoch_seconds
             )
-            trailer = buf.read_control("trailer")
+            trailer, controls = self._read_trailer(buf)
             self._check_trailer(trailer, crc, app_bytes)
             return FlowResult(
                 flow_id=int(ack.get("flow_id", 0)),
@@ -196,6 +199,7 @@ class ServeClient:
                 wire_bytes_received=buf.total_read,
                 seconds=time.monotonic() - t0,
                 trailer=trailer,
+                controls=controls,
             )
         finally:
             sock.close()
@@ -243,7 +247,7 @@ class ServeClient:
             sender = threading.Thread(target=_sender, name="repro-serve-echo-up")
             sender.start()
             try:
-                echoed, echo_crc, trailer = self._read_echo(buf, collect)
+                echoed, echo_crc, trailer, controls = self._read_echo(buf, collect)
             finally:
                 sender.join()
             if failures:
@@ -263,6 +267,7 @@ class ServeClient:
                 seconds=time.monotonic() - t0,
                 trailer=trailer,
                 data=echoed,
+                controls=controls,
             )
         finally:
             sock.close()
@@ -345,9 +350,14 @@ class ServeClient:
 
     def _read_echo(
         self, buf: _SocketBuf, collect: bool
-    ) -> Tuple[Optional[bytes], int, Dict[str, object]]:
-        """Decode interleaved block frames until the trailer control."""
+    ) -> Tuple[Optional[bytes], int, Dict[str, object], list]:
+        """Decode interleaved block frames until the trailer control.
+
+        Mid-flow ``{"ctl": ...}`` control frames (fleet rebalances) are
+        collected, not treated as the trailer.
+        """
         chunks: list = []
+        controls: list = []
         crc = 0
         while True:
             prefix = buf.peek(len(CONTROL_MAGIC))
@@ -362,10 +372,23 @@ class ServeClient:
                 if collect:
                     chunks.append(data)
             elif prefix == CONTROL_MAGIC:
-                trailer = buf.read_control("trailer")
-                return (b"".join(chunks) if collect else None), crc, trailer
+                body = buf.read_control("control frame")
+                if "ctl" in body:
+                    controls.append(body)
+                    continue
+                return (b"".join(chunks) if collect else None), crc, body, controls
             else:
                 raise ServeProtocolError(f"unexpected frame prefix {prefix!r}")
+
+    @staticmethod
+    def _read_trailer(buf: _SocketBuf) -> Tuple[Dict[str, object], list]:
+        """Read control frames until the trailer, collecting ctl pushes."""
+        controls: list = []
+        while True:
+            body = buf.read_control("trailer")
+            if "ctl" not in body:
+                return body, controls
+            controls.append(body)
 
     @staticmethod
     def _check_trailer(trailer: Dict[str, object], crc: int, app_bytes: int) -> None:

@@ -296,6 +296,7 @@ class Flow:
         self._epoch_seconds = epoch_seconds
         self._alpha = alpha
         self._max_inflight = max_inflight_blocks
+        self._base_max_inflight = max_inflight_blocks
         self._max_write_buffer = max_write_buffer
         self._max_block_len = max_block_len
         self._clock = clock
@@ -323,6 +324,10 @@ class Flow:
         self._echo_static_level: Optional[int] = None
         self._echo_block_size = default_block_size
 
+        # Fleet-control plane (server actuates via apply_control).
+        self.control_weight = 1.0
+        self._ctl_level: Optional[int] = None
+
         # Counters (loop thread only).
         self.wire_bytes_in = 0
         self.bytes_out = 0
@@ -333,6 +338,10 @@ class Flow:
         self.opened_at = clock()
         self.last_activity = self.opened_at
         self._next_progress = PROGRESS_EVERY_BYTES
+        # Rate-sample baseline for the control plane (loop thread only).
+        self._rate_ts = self.opened_at
+        self._rate_app = 0
+        self._rate_wire = 0
 
         self.failure: Optional[str] = None
 
@@ -362,6 +371,61 @@ class Flow:
     @property
     def ok(self) -> bool:
         return self.failure is None
+
+    # -- fleet control plane (loop thread) ---------------------------
+
+    @property
+    def echo_level(self) -> int:
+        """The level this flow currently re-encodes at (0 for sink)."""
+        if self._echo_static_level is not None:
+            return self._echo_static_level
+        return self.controller.current_level if self.controller is not None else 0
+
+    def sample_rates(
+        self, now: float, min_interval: float
+    ) -> Optional[Tuple[float, Optional[float]]]:
+        """Close one rate-sample window; ``(app_rate, wire_ratio)``.
+
+        Returns ``None`` while less than ``min_interval`` has elapsed
+        since the previous sample, and a ``None`` ratio when no
+        application bytes moved in the window (nothing to measure).
+        """
+        dt = now - self._rate_ts
+        if dt < min_interval:
+            return None
+        d_app = self.app_bytes - self._rate_app
+        d_wire = self.wire_bytes_in - self._rate_wire
+        self._rate_ts = now
+        self._rate_app = self.app_bytes
+        self._rate_wire = self.wire_bytes_in
+        ratio = (d_wire / d_app) if d_app > 0 else None
+        return d_app / dt, ratio
+
+    def apply_control(self, level: Optional[int], weight: float) -> bool:
+        """Apply a fleet assignment to this flow; True when it changed.
+
+        ``level`` pins the echo re-encode level through the per-flow
+        controller's override (``None`` returns it to adaptive);
+        ``weight`` scales the decode window — the per-flow share of the
+        shared codec substrate — around its configured baseline.  A
+        change during STREAMING is announced to the client as an
+        in-band ``{"ctl": "rebalance", ...}`` control frame.
+        """
+        changed = False
+        if level != self._ctl_level:
+            self._ctl_level = level
+            if self.controller is not None:
+                self.controller.set_level_override(level)
+            changed = True
+        if weight != self.control_weight:
+            self.control_weight = weight
+            self._max_inflight = max(1, round(self._base_max_inflight * weight))
+            changed = True
+        if changed and self.state is FlowState.STREAMING:
+            self._queue(
+                encode_control({"ctl": "rebalance", "level": level, "weight": weight})
+            )
+        return changed
 
     # -- socket side (loop thread) -----------------------------------
 

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from itertools import count
 from typing import Callable, Deque, Dict, List, Optional
 
+from ..control import Assignment, FleetController
 from ..core.buffers import BufferPool
 from ..core.levels import CompressionLevelTable, default_level_table
 from ..core.pipeline import CodecThreadPool
@@ -62,6 +63,7 @@ from ..telemetry.events import (
     BufferPoolStats,
     FlowAccepted,
     FlowClosed,
+    FlowRates,
     FlowRejected,
     PipelineQueueDepth,
 )
@@ -107,6 +109,8 @@ class ServeConfig:
     alpha: float = 0.2
     max_block_len: Optional[int] = None
     poll_interval: float = 0.2
+    policy: Optional[str] = None  # fleet allocation policy; None → per-flow only
+    control_interval: float = 1.0  # seconds between fleet policy passes
 
     def __post_init__(self) -> None:
         if self.max_flows < 1:
@@ -119,6 +123,8 @@ class ServeConfig:
             raise ValueError(f"unknown codec_backend {self.codec_backend!r}")
         if self.codec_shards < 0:
             raise ValueError("codec_shards must be >= 0")
+        if self.control_interval <= 0:
+            raise ValueError("control_interval must be positive")
 
 
 class TransferServer:
@@ -199,6 +205,21 @@ class TransferServer:
         )
         self._default_level = default_level
 
+        # Optional fleet control plane.  The server feeds the controller
+        # *directly* (flow_opened / observe_flow / flow_closed) rather
+        # than attaching it to the telemetry bus, so running a policy
+        # neither requires telemetry nor double-ingests its own events
+        # when telemetry is on; the actuator runs on the loop thread.
+        self._controller: Optional[FleetController] = None
+        if self.config.policy is not None:
+            self._controller = FleetController(
+                self.config.policy,
+                n_levels=len(self._levels),
+                actuator=self._apply_assignment,
+                control_interval=self.config.control_interval,
+                source=f"{self.TELEMETRY_SOURCE}-control",
+            )
+
         # Bind in the constructor so tests can read ``address`` (and
         # clients can connect; the backlog holds them) before the loop
         # thread has spun up.
@@ -273,6 +294,11 @@ class TransferServer:
     @property
     def active_flows(self) -> int:
         return len(self._flows)
+
+    @property
+    def controller(self) -> Optional[FleetController]:
+        """The fleet controller, when a policy is configured."""
+        return self._controller
 
     # -- lifecycle ---------------------------------------------------
 
@@ -360,6 +386,8 @@ class TransferServer:
                         touched.append(self._pending.popleft())
                 self._advance(touched)
                 self._check_timeouts()
+                if self._controller is not None:
+                    self._control_pass()
         finally:
             self._running.set()
             try:
@@ -484,8 +512,60 @@ class TransferServer:
             else:
                 self._update_interest(flow)
 
+    def _control_pass(self) -> None:
+        """Feed per-flow rate samples to the controller and tick it.
+
+        Runs once per loop pass; each flow closes a rate window at most
+        every ``epoch_seconds`` and the controller runs its policy at
+        most every ``control_interval``, so the common case is a few
+        subtractions per flow.
+        """
+        now = self._clock()
+        for flow in list(self._flows.values()):
+            if flow.flow_id not in self._announced or flow.state is FlowState.CLOSED:
+                continue
+            sample = flow.sample_rates(now, self.config.epoch_seconds)
+            if sample is None:
+                continue
+            app_rate, ratio = sample
+            level = flow.echo_level
+            self._controller.observe_flow(
+                flow.flow_id,
+                now=now,
+                level=level,
+                app_rate=app_rate,
+                app_bytes=float(flow.app_bytes),
+                observed_ratio=ratio,
+            )
+            if BUS.active:
+                BUS.publish(
+                    FlowRates(
+                        ts=BUS.now(),
+                        source=self.TELEMETRY_SOURCE,
+                        flow_id=flow.flow_id,
+                        level=level,
+                        app_rate=app_rate,
+                        app_bytes=float(flow.app_bytes),
+                        observed_ratio=ratio,
+                        worker_weight=flow.control_weight,
+                    )
+                )
+        self._controller.on_tick(now)
+
+    def _apply_assignment(self, flow_id: int, assignment: Assignment) -> None:
+        """Fleet-controller actuator (invoked on the loop thread)."""
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            return
+        if flow.apply_control(assignment.level, assignment.weight):
+            # The decode window and the write queue may both have
+            # changed; refresh selector interest immediately.
+            self._update_interest(flow)
+
     def _announce(self, flow: Flow) -> None:
         self._announced.add(flow.flow_id)
+        if self._controller is not None:
+            self._controller.flow_opened(flow.flow_id, now=self._clock())
         if BUS.active:
             BUS.publish(
                 FlowAccepted(
@@ -550,6 +630,8 @@ class TransferServer:
             self.flows_completed += 1
         else:
             self.flows_failed += 1
+        if self._controller is not None:
+            self._controller.flow_closed(flow.flow_id)
         if BUS.active:
             now = BUS.now()
             BUS.publish(

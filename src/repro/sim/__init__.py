@@ -30,6 +30,13 @@ from .cpu import CATEGORIES, CostVector, CpuLedger, DualLedger, utilization
 from .disk import CachedDisk, PlainDisk
 from .engine import Environment, Event, Process, SimulationError, Timeout
 from .filetransfer import FileWriteSim, run_file_write_scenario
+from .fleet import (
+    FleetFlowOutcome,
+    FleetFlowSpec,
+    FleetResult,
+    SimFleetController,
+    run_fleet_scenario,
+)
 from .fluctuation import ConstantCapacity, FluctuationModel, GaussianJitter, MarkovOnOff
 from .host import PhysicalHost
 from .hypervisor import (
@@ -114,6 +121,11 @@ __all__ = [
     "BackgroundTraffic",
     "FileWriteSim",
     "run_file_write_scenario",
+    "FleetFlowSpec",
+    "FleetFlowOutcome",
+    "FleetResult",
+    "SimFleetController",
+    "run_fleet_scenario",
     "trace_arrays",
     "controller_arrays",
     "resample_step",

@@ -144,6 +144,8 @@ class TransferSim:
         vm_io_cost: float = VM_NET_IO_COST,
         compute_jitter: float = 0.03,
         foreground_weight: float = FOREGROUND_WEIGHT,
+        flow_id: int = 0,
+        flow_name: str = "fg",
     ) -> None:
         if scheme.n_levels != model.n_levels:
             raise ValueError(
@@ -163,6 +165,13 @@ class TransferSim:
         self.vm_io_cost = vm_io_cost
         self.compute_jitter = compute_jitter
         self.foreground_weight = foreground_weight
+        self.flow_id = flow_id
+        self.flow_name = flow_name
+        #: Fraction of one CPU available to this flow's codec (1.0 =
+        #: a whole core).  A fleet controller reallocates this across
+        #: co-scheduled transfers; the default reproduces the paper's
+        #: single-transfer setup exactly.
+        self.cpu_share = 1.0
         self.result = TransferResult(scheme_name=scheme.name)
 
     # -- rate model ---------------------------------------------------
@@ -185,7 +194,7 @@ class TransferSim:
         inv_comp = (
             0.0
             if math.isinf(pt.comp_speed)
-            else 1.0 / (pt.comp_speed * jitter * contention)
+            else 1.0 / (pt.comp_speed * jitter * contention * self.cpu_share)
         )
         denom = inv_comp + wire_ratio * self.vm_io_cost
         cpu_rate = 1.0 / denom if denom > 0 else math.inf
@@ -197,7 +206,7 @@ class TransferSim:
     def run(self) -> Generator[Event, None, TransferResult]:
         env = self.env
         source = self.source
-        flow = self.link.open_flow("fg", weight=self.foreground_weight)
+        flow = self.link.open_flow(self.flow_name, weight=self.foreground_weight)
         start_time = env.now
         epoch_start = env.now
         epoch_bytes = 0.0
@@ -264,7 +273,11 @@ class TransferSim:
 
         # VM view: compression (USR) is fully visible, I/O processing
         # only at the paravirt guest's tiny share.
-        comp_frac = 0.0 if math.isinf(pt.comp_speed) else app_rate / pt.comp_speed
+        comp_frac = (
+            0.0
+            if math.isinf(pt.comp_speed)
+            else app_rate / (pt.comp_speed * self.cpu_share)
+        )
         vm_io_frac = wire_rate * self.vm_io_cost
         vm_cpu = 100.0 * (comp_frac + vm_io_frac)
         # Host view: plus the hidden virtualization overhead (roughly a
@@ -298,6 +311,11 @@ class TransferSim:
             displayed_cpu_util=vm_cpu,
             displayed_bandwidth=displayed_bw,
             queue_slope=queue_slope,
+            observed_ratio=(epoch_wire / epoch_bytes) if epoch_bytes > 0 else None,
+            flow_id=self.flow_id,
+            level=level,
+            app_bytes=epoch_bytes,
+            worker_weight=self.cpu_share,
         )
         next_level = self.scheme.on_epoch(obs)
         if BUS.active:

@@ -32,8 +32,10 @@ from .events import (
     EpochClosed,
     EventBus,
     FaultInjected,
+    FleetRebalanced,
     FlowAccepted,
     FlowClosed,
+    FlowRates,
     FlowRejected,
     LevelSwitched,
     PipelineQueueDepth,
@@ -75,6 +77,8 @@ __all__ = [
     "FlowAccepted",
     "FlowClosed",
     "FlowRejected",
+    "FlowRates",
+    "FleetRebalanced",
     "SpanClosed",
     "EventBus",
     "BUS",

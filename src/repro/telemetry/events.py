@@ -40,6 +40,8 @@ __all__ = [
     "FlowAccepted",
     "FlowClosed",
     "FlowRejected",
+    "FlowRates",
+    "FleetRebalanced",
     "SpanClosed",
     "EventBus",
     "BUS",
@@ -257,6 +259,45 @@ class FlowRejected(TelemetryEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class FlowRates(TelemetryEvent):
+    """Periodic per-flow rate sample from a live transfer service.
+
+    Emitted by :class:`repro.serve.TransferServer` once per poll
+    interval per open flow (only while the bus is active), and by the
+    simulator's fleet harness with ``source="sim"``.  ``app_rate`` is
+    the decoded-plaintext rate since the previous sample;
+    ``app_bytes`` is the flow's *cumulative* plaintext total;
+    ``observed_ratio`` is wire/app bytes over the same window (None
+    until the window moved data).  This is the fleet controller's
+    primary observation stream.
+    """
+
+    source: str
+    flow_id: int
+    level: int
+    app_rate: float
+    app_bytes: float
+    observed_ratio: Optional[float]
+    worker_weight: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class FleetRebalanced(TelemetryEvent):
+    """A fleet controller ran its allocation policy over live flows.
+
+    ``flows`` counts the flows covered by the pass, ``pinned`` how many
+    received an explicit level pin, ``reweighted`` how many got a codec
+    worker share other than 1.0.
+    """
+
+    source: str
+    policy: str
+    flows: int
+    pinned: int
+    reweighted: int
+
+
+@dataclass(frozen=True, slots=True)
 class SpanClosed(TelemetryEvent):
     """A tracing span (``with span(...)``) exited."""
 
@@ -286,6 +327,8 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     FlowAccepted,
     FlowClosed,
     FlowRejected,
+    FlowRates,
+    FleetRebalanced,
     SpanClosed,
 )
 

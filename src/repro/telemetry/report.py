@@ -43,6 +43,10 @@ class TraceSummary:
     )
     transfers: Dict[str, Dict[str, float]] = field(default_factory=dict)
     span_seconds: Dict[str, Histogram] = field(default_factory=dict)
+    #: Per-flow fold of FlowRates samples and the FlowClosed outcome.
+    flows: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: Per-policy fold of FleetRebalanced passes.
+    control: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
 def load_trace(source: Union[str, IO[str]]) -> Iterable[dict]:
@@ -110,6 +114,41 @@ def summarize(events: Iterable[dict]) -> TraceSummary:
                 "bytes_out": float(ev.get("bytes_out") or 0.0),
                 "ratio": float(ev.get("ratio") or 0.0),
             }
+        elif etype == "FlowRates":
+            fid = ev.get("flow_id")
+            if isinstance(fid, int):
+                fl = s.flows.setdefault(fid, _new_flow())
+                fl["samples"] = int(fl["samples"]) + 1
+                fl["rate_sum"] = float(fl["rate_sum"]) + float(ev.get("app_rate") or 0.0)
+                fl["level"] = ev.get("level", fl["level"])
+                fl["weight"] = float(ev.get("worker_weight") or 1.0)
+                if ev.get("observed_ratio") is not None:
+                    fl["ratio"] = float(ev["observed_ratio"])
+                # Cumulative fallback for sources that never emit a
+                # FlowClosed (the sim fleet); the close event, when it
+                # does arrive, simply overwrites this with the final
+                # number.
+                fl["app_bytes"] = max(
+                    float(fl["app_bytes"]), float(ev.get("app_bytes") or 0.0)
+                )
+        elif etype == "FlowClosed":
+            fid = ev.get("flow_id")
+            if isinstance(fid, int):
+                fl = s.flows.setdefault(fid, _new_flow())
+                fl["mode"] = str(ev.get("mode", "?"))
+                fl["app_bytes"] = float(ev.get("app_bytes") or 0.0)
+                fl["seconds"] = float(ev.get("seconds") or 0.0)
+                fl["outcome"] = (
+                    "ok" if ev.get("ok") else str(ev.get("reason", "failed"))
+                )
+        elif etype == "FleetRebalanced":
+            policy = str(ev.get("policy", "?"))
+            ctl = s.control.setdefault(
+                policy, {"passes": 0, "pinned": 0, "reweighted": 0}
+            )
+            ctl["passes"] += 1
+            ctl["pinned"] += int(ev.get("pinned") or 0)
+            ctl["reweighted"] += int(ev.get("reweighted") or 0)
         elif etype == "SpanClosed":
             name = str(ev.get("name", "?"))
             hist = s.span_seconds.setdefault(name, Histogram(name))
@@ -117,6 +156,20 @@ def summarize(events: Iterable[dict]) -> TraceSummary:
             if isinstance(start, (int, float)) and isinstance(end, (int, float)):
                 hist.observe(float(end) - float(start))
     return s
+
+
+def _new_flow() -> Dict[str, object]:
+    return {
+        "samples": 0,
+        "rate_sum": 0.0,
+        "level": None,
+        "weight": 1.0,
+        "ratio": None,
+        "mode": "?",
+        "app_bytes": 0.0,
+        "seconds": 0.0,
+        "outcome": "open",
+    }
 
 
 def _fmt_bytes(n: float) -> str:
@@ -183,6 +236,34 @@ def render_report(s: TraceSummary, *, max_switches: int = 20) -> str:
             lines.append(
                 f"  {src:16s} in {_fmt_bytes(t['bytes_in'])}  "
                 f"out {_fmt_bytes(t['bytes_out'])}  ratio {t['ratio']:.3f}"
+            )
+
+    if s.flows:
+        lines.append("")
+        lines.append("-- flows --")
+        for fid, fl in sorted(s.flows.items()):
+            samples = int(fl["samples"])
+            mean_rate = float(fl["rate_sum"]) / samples / 1e6 if samples else 0.0
+            level = fl["level"]
+            ratio = fl["ratio"]
+            lines.append(
+                f"  flow {fid:<4d} {str(fl['mode']):5s} "
+                f"{_fmt_bytes(float(fl['app_bytes'])):>10s} in "
+                f"{float(fl['seconds']):6.2f}s  "
+                f"rate {mean_rate:7.2f} MB/s ({samples} samples)  "
+                f"level {'-' if level is None else level}  "
+                f"weight {float(fl['weight']):.2f}  "
+                f"ratio {'-' if ratio is None else format(float(ratio), '.3f')}  "
+                f"{fl['outcome']}"
+            )
+
+    if s.control:
+        lines.append("")
+        lines.append("-- fleet control --")
+        for policy, ctl in sorted(s.control.items()):
+            lines.append(
+                f"  {policy:20s} passes {ctl['passes']:5d}  "
+                f"level pins {ctl['pinned']:5d}  reweights {ctl['reweighted']:5d}"
             )
 
     if s.span_seconds:

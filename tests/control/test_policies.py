@@ -1,0 +1,174 @@
+"""Unit tests for the fleet allocation policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import (
+    Assignment,
+    FairSharePolicy,
+    FleetView,
+    FlowSnapshot,
+    GreedyThroughputPolicy,
+    HillClimbPolicy,
+    POLICIES,
+    make_policy,
+)
+
+MB = 1e6
+
+
+def snap(fid, *, level=1, rate=50 * MB, ratio=None, weight=1.0):
+    return FlowSnapshot(
+        flow_id=fid,
+        level=level,
+        app_rate=rate,
+        app_bytes=rate * 10,
+        observed_ratio=ratio,
+        age_seconds=10.0,
+        weight=weight,
+    )
+
+
+def view(*flows, now=100.0):
+    return FleetView(now=now, flows=tuple(flows), n_levels=4)
+
+
+class TestAssignment:
+    def test_defaults_leave_flow_alone(self):
+        asg = Assignment()
+        assert asg.level is None and asg.weight == 1.0
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Assignment(weight=0.0)
+
+
+class TestRegistry:
+    def test_all_policies_constructible_by_name(self):
+        for name in POLICIES:
+            assert make_policy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("nope")
+
+
+class TestFairShare:
+    def test_everyone_equal_and_adaptive(self):
+        out = FairSharePolicy().allocate(view(snap(1), snap(2), snap(3)))
+        assert set(out) == {1, 2, 3}
+        for asg in out.values():
+            assert asg.level is None and asg.weight == 1.0
+
+
+class TestGreedyThroughput:
+    def test_pins_proven_incompressible(self):
+        out = GreedyThroughputPolicy().allocate(
+            view(snap(1, ratio=0.99), snap(2, ratio=0.35))
+        )
+        assert out[1].level == 0 and out[1].weight == pytest.approx(0.25)
+        assert out[2].level is None and out[2].weight == 1.0
+
+    def test_no_evidence_means_no_action(self):
+        # A flow at NO shows ratio 1.0 by construction; the controller
+        # never records that, so the policy sees None and must not act.
+        out = GreedyThroughputPolicy().allocate(view(snap(1, level=0, ratio=None)))
+        assert out[1] == Assignment(level=None, weight=1.0)
+
+    def test_threshold_boundary(self):
+        policy = GreedyThroughputPolicy(incompressible_ratio=0.9)
+        out = policy.allocate(view(snap(1, ratio=0.9), snap(2, ratio=0.899)))
+        assert out[1].level == 0
+        assert out[2].level is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GreedyThroughputPolicy(incompressible_ratio=0.0)
+        with pytest.raises(ValueError):
+            GreedyThroughputPolicy(lean_weight=-1.0)
+
+
+class TestHillClimb:
+    def test_first_round_perturbs_one_flow_up(self):
+        policy = HillClimbPolicy(step=1.25)
+        out = policy.allocate(view(snap(1), snap(2)))
+        weights = sorted(a.weight for a in out.values())
+        assert weights == [1.0, 1.25]
+        assert all(a.level is None for a in out.values())
+
+    def test_regression_reverts_and_flips(self):
+        policy = HillClimbPolicy(step=1.25, tolerance=0.02)
+        policy.allocate(view(snap(1, rate=100 * MB), snap(2, rate=100 * MB)))
+        # Aggregate collapsed well past tolerance: the move on flow 1
+        # must be undone and its next move must go the other way.
+        out = policy.allocate(view(snap(1, rate=10 * MB), snap(2, rate=10 * MB)))
+        # Flow 1 reverted to 1.0; this round's cursor perturbed flow 2.
+        assert out[1].weight == pytest.approx(1.0)
+        assert out[2].weight == pytest.approx(1.25)
+        # Two rounds later flow 1 is perturbed again — downward now.
+        out = policy.allocate(view(snap(1, rate=10 * MB), snap(2, rate=10 * MB)))
+        assert out[1].weight == pytest.approx(1.0 / 1.25)
+
+    def test_improvement_keeps_move(self):
+        policy = HillClimbPolicy(step=1.25)
+        policy.allocate(view(snap(1, rate=50 * MB)))
+        out = policy.allocate(view(snap(1, rate=80 * MB)))
+        # Kept at 1.25, then perturbed again in the same direction.
+        assert out[1].weight == pytest.approx(1.25 * 1.25)
+
+    def test_weights_stay_clamped(self):
+        policy = HillClimbPolicy(step=2.0, min_weight=0.5, max_weight=2.0)
+        out = {}
+        for _ in range(6):  # monotone improvement: never reverts
+            out = policy.allocate(view(snap(1, rate=50 * MB)))
+        assert out[1].weight == pytest.approx(2.0)
+
+    def test_idle_fleet_not_perturbed(self):
+        policy = HillClimbPolicy()
+        out = policy.allocate(view(snap(1, rate=0.0)))
+        assert out[1].weight == pytest.approx(1.0)
+
+    def test_departed_flow_forgotten(self):
+        policy = HillClimbPolicy()
+        policy.allocate(view(snap(1), snap(2)))
+        out = policy.allocate(view(snap(2)))
+        assert set(out) == {2}
+
+    def test_consecutive_rejections_back_off_exploration(self):
+        """Under a monotonically decaying aggregate rate every probe
+        looks harmful, so the rejection streak must open exponentially
+        growing probe-free windows and the exploration duty cycle must
+        decay (mirrors Algorithm 1's level-probe backoff)."""
+        policy = HillClimbPolicy(step=1.25, tolerance=0.02)
+        probed = []
+        for i in range(40):
+            rate = 100 * MB * (0.5**i)
+            policy.allocate(view(snap(1, rate=rate), snap(2, rate=rate)))
+            probed.append(policy._last_move is not None)
+        # Early rounds probe back-to-back, late rounds barely at all.
+        assert probed[0] and probed[1]
+        assert sum(probed[-16:]) <= 2
+        # The gaps between probes grow strictly.
+        gaps = [j - i for i, j in zip(
+            [k for k, p in enumerate(probed) if p][:-1],
+            [k for k, p in enumerate(probed) if p][1:],
+        )]
+        assert gaps == sorted(gaps) and gaps[-1] > gaps[0]
+
+    def test_accepted_move_resets_backoff(self):
+        policy = HillClimbPolicy(step=1.25, tolerance=0.02)
+        policy.allocate(view(snap(1, rate=50 * MB)))       # probe up
+        policy.allocate(view(snap(1, rate=10 * MB)))       # rejected (streak 1)
+        policy.allocate(view(snap(1, rate=10 * MB)))       # probe down
+        out = policy.allocate(view(snap(1, rate=80 * MB)))  # accepted: reset
+        # No cooldown swallowed this round — the next probe fired.
+        assert out[1].weight != pytest.approx(1.0 / 1.25)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HillClimbPolicy(step=1.0)
+        with pytest.raises(ValueError):
+            HillClimbPolicy(min_weight=1.5)
+        with pytest.raises(ValueError):
+            HillClimbPolicy(max_backoff=0)

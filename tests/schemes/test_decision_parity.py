@@ -1,0 +1,131 @@
+"""Property-based decision parity: ``decide`` ≡ ``on_epoch``.
+
+The multi-layer FlowView refactor routed every consumer through the
+uniform :meth:`~repro.schemes.base.CompressionScheme.decide` path.  The
+migration contract is byte-for-byte parity: for *any* observation
+sequence, a scheme driven via ``decide`` must produce the identical
+level sequence as a fresh twin driven via the historical ``on_epoch``,
+and the decision records' metadata must be internally coherent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schemes import (
+    FlowView,
+    ManagedScheme,
+    MemoryRateScheme,
+    QueueBasedScheme,
+    RateBasedScheme,
+    ResourceBasedScheme,
+    SmoothedRateScheme,
+    StaticScheme,
+    ThresholdScheme,
+    TrainedLevel,
+)
+
+MB = 1e6
+
+TRAINING = [
+    TrainedLevel(comp_speed=float("inf"), ratio=1.0),
+    TrainedLevel(comp_speed=200 * MB, ratio=0.2),
+    TrainedLevel(comp_speed=140 * MB, ratio=0.12),
+    TrainedLevel(comp_speed=25 * MB, ratio=0.08),
+]
+
+#: One factory per migrated scheme; each call returns a fresh instance.
+SCHEME_FACTORIES = [
+    lambda: StaticScheme(4, 2),
+    lambda: RateBasedScheme(4),
+    lambda: SmoothedRateScheme(4),
+    lambda: MemoryRateScheme(4),
+    lambda: ResourceBasedScheme(TRAINING),
+    lambda: QueueBasedScheme(4, threshold=1 * MB),
+    lambda: ThresholdScheme([60 * MB, 30 * MB, 10 * MB]),
+    lambda: ManagedScheme(RateBasedScheme(4)),
+]
+
+
+@st.composite
+def observation_sequences(draw):
+    """Random workload: epochs of rates/metrics a real run could show."""
+    n = draw(st.integers(min_value=0, max_value=40))
+    epoch = 2.0
+    views = []
+    for i in range(n):
+        views.append(
+            FlowView(
+                now=(i + 1) * epoch,
+                epoch_seconds=epoch,
+                app_rate=draw(
+                    st.floats(min_value=0.0, max_value=500 * MB, allow_nan=False)
+                ),
+                displayed_cpu_util=draw(
+                    st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+                ),
+                displayed_bandwidth=draw(
+                    st.floats(min_value=0.0, max_value=200 * MB, allow_nan=False)
+                ),
+                queue_slope=draw(
+                    st.floats(min_value=-10 * MB, max_value=10 * MB, allow_nan=False)
+                ),
+                observed_ratio=draw(
+                    st.one_of(
+                        st.none(),
+                        st.floats(min_value=0.01, max_value=1.2, allow_nan=False),
+                    )
+                ),
+                level=draw(st.integers(min_value=0, max_value=3)),
+                app_bytes=draw(
+                    st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+                ),
+            )
+        )
+    return views
+
+
+class TestDecideOnEpochParity:
+    @given(views=observation_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_level_sequences(self, views):
+        for factory in SCHEME_FACTORIES:
+            legacy, uniform = factory(), factory()
+            legacy_levels = [legacy.on_epoch(v) for v in views]
+            decisions = [uniform.decide(v) for v in views]
+            assert [d.level_after for d in decisions] == legacy_levels, (
+                f"{uniform.name}: decide() diverged from on_epoch()"
+            )
+
+    @given(views=observation_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_decision_metadata_coherent(self, views):
+        for factory in SCHEME_FACTORIES:
+            scheme = factory()
+            previous_after = scheme.current_level
+            for i, view in enumerate(views):
+                decision = scheme.decide(view)
+                assert decision.epoch == i
+                assert decision.flow_id == view.flow_id
+                # level_before chains from the previous decision's after.
+                assert decision.level_before == previous_after
+                assert 0 <= decision.level_after < scheme.n_levels
+                assert decision.level_after == scheme.current_level
+                previous_after = decision.level_after
+
+    @given(views=observation_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_managed_override_masks_but_inner_still_learns(self, views):
+        """A pinned ManagedScheme reports the pin while its inner scheme
+        keeps tracking the workload open-loop — releasing the pin lands
+        on exactly the level an unpinned twin would hold."""
+        pinned = ManagedScheme(RateBasedScheme(4))
+        free = RateBasedScheme(4)
+        pinned.set_override(0)
+        for view in views:
+            decision = pinned.decide(view)
+            assert decision.level_after == 0
+            free.on_epoch(view)
+        pinned.set_override(None)
+        assert pinned.current_level == free.current_level

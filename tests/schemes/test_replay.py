@@ -9,11 +9,15 @@ import pytest
 from repro.data import Compressibility
 from repro.schemes import EpochObservation, RateBasedScheme, StaticScheme
 from repro.schemes.replay import (
+    HEADER,
     TraceFormatError,
+    decisions_from_result,
     dump_trace,
+    load_records,
     load_trace,
     observations_from_result,
     replay,
+    replay_decisions,
     replay_many,
 )
 from repro.sim import ScenarioConfig, make_dynamic_factory, run_transfer_scenario
@@ -53,6 +57,60 @@ class TestRoundTrip:
         buf.write("\n\n")
         buf.seek(0)
         assert len(list(load_trace(buf))) == 2
+
+
+class TestV2Decisions:
+    def test_header_is_version_2(self):
+        assert HEADER["version"] == 2
+
+    def test_roundtrip_with_decisions(self, result):
+        observations = observations_from_result(result)
+        decisions = decisions_from_result(result)
+        buf = io.StringIO()
+        dump_trace(observations, buf, decisions=decisions)
+        buf.seek(0)
+        records = list(load_records(buf))
+        assert [obs for obs, _ in records] == observations
+        assert [dec for _, dec in records] == decisions
+
+    def test_observations_carry_levels(self, result):
+        observations = observations_from_result(result)
+        assert [o.level for o in observations] == [e.level for e in result.epochs]
+
+    def test_short_decision_sequence_rejected(self, result):
+        observations = observations_from_result(result)
+        with pytest.raises(TraceFormatError, match="shorter"):
+            dump_trace(observations, io.StringIO(), decisions=[])
+
+    def test_v1_trace_still_loads(self):
+        """A seed-era v1 line (seven fields, no fleet context) loads
+        with the fleet fields at their lone-flow defaults."""
+        buf = io.StringIO(
+            '{"format": "repro-observation-trace", "version": 1}\n'
+            '{"now": 2.0, "epoch_seconds": 2.0, "app_rate": 5e7, '
+            '"displayed_cpu_util": 20.0, "displayed_bandwidth": 9e7, '
+            '"queue_slope": 0.0, "observed_ratio": null}\n'
+        )
+        records = list(load_records(buf))
+        assert len(records) == 1
+        obs, decision = records[0]
+        assert decision is None
+        assert obs.app_rate == 5e7
+        assert obs.flow_id == 0 and obs.active_flows == 1
+        assert obs.worker_weight == 1.0
+
+    def test_recorded_decisions_match_replay(self, result):
+        """The recorded decision stream equals a fresh replay through
+        the same scheme — the self-containment property v2 exists for."""
+        observations = observations_from_result(result)
+        recorded = decisions_from_result(result)
+        replayed = replay_decisions(observations, RateBasedScheme(4))
+        assert [d.level_after for d in replayed] == [
+            d.level_after for d in recorded
+        ]
+        assert [d.level_before for d in replayed] == [
+            d.level_before for d in recorded
+        ]
 
 
 class TestFormatErrors:

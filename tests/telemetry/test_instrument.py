@@ -88,6 +88,36 @@ class TestInstrumentedSimulation:
         assert BUS.now() != epochs[-1].ts
 
 
+class TestFleetReportSections:
+    def test_fleet_trace_renders_flow_and_control_sections(self, tmp_path):
+        from repro.sim import FleetFlowSpec, run_fleet_scenario
+
+        trace = tmp_path / "fleet.jsonl"
+        specs = [
+            FleetFlowSpec("hi", Compressibility.HIGH, 100 * 10**6),
+            FleetFlowSpec("lo", Compressibility.LOW, 60 * 10**6),
+        ]
+        with instrumented(str(trace)):
+            run_fleet_scenario(
+                specs,
+                policy="greedy-throughput",
+                cores=1.0,
+                seed=3,
+                epoch_seconds=0.5,
+                control_interval=1.0,
+            )
+        summary = summarize(load_trace(str(trace)))
+        # Per-flow fold from the FlowRates stream...
+        assert set(summary.flows) == {0, 1}
+        assert all(fl["samples"] > 0 for fl in summary.flows.values())
+        # ...and the policy-pass fold from FleetRebalanced.
+        assert summary.control["greedy-throughput"]["passes"] > 0
+        text = render_report(summary)
+        assert "-- flows --" in text
+        assert "-- fleet control --" in text
+        assert "greedy-throughput" in text
+
+
 class TestReportAndCli:
     def make_trace(self, tmp_path) -> str:
         trace = tmp_path / "trace.jsonl"
