@@ -37,12 +37,23 @@ aggregate throughput — the controller must be free when it has nothing
 to say.  Each policy keeps the best of ``--repeats`` rounds, so the
 ratio compares substrates, not scheduler jitter.
 
+``--slo`` runs the *operability* axis: one instrumented daemon with the
+admin endpoint attached, 16 concurrent echo flows, a live ``/metrics``
+scrape and ``/healthz`` probe mid-load, a codec-queue-depth sampler,
+and an offline resync-recovery measurement over a corrupted block
+stream.  The measured values land under an ``"slo"`` key *merged into*
+``BENCH_serve.json`` (alongside any scaling rounds already recorded)
+together with the thresholds the gate enforced — p99 block codec
+latency, queue-depth ceiling, resync recovery time, scrape latency —
+so the artifact documents both the promise and the evidence.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
         [--backend thread|process|both]
         [--mib 8] [--shards N] [--out BENCH_serve.json]
         [--control] [--repeats 2] [--control-out BENCH_control.json]
+        [--slo]
 """
 
 from __future__ import annotations
@@ -322,6 +333,228 @@ def check_control_gate(payload: dict) -> list[str]:
     return failures
 
 
+# -- operability / SLO axis -----------------------------------------
+
+SLO_FLOWS = 16
+
+#: The service-level objectives the --slo gate enforces.  Deliberately
+#: loose for shared CI runners: these catch order-of-magnitude
+#: operability regressions (a stuck queue, a seconds-long block stall,
+#: resync scanning the whole stream), not few-percent drift.
+SLO_THRESHOLDS = {
+    "p99_decode_seconds_max": 0.5,
+    "p99_encode_seconds_max": 0.5,
+    "queue_depth_max": 8 * SLO_FLOWS,
+    "resync_recovery_seconds_max": 2.0,
+    "resync_blocks_skipped_max": 2,
+    "metrics_scrape_seconds_max": 2.0,
+}
+
+
+def measure_resync(mib: int) -> dict:
+    """Corrupt one block mid-stream; time the full resync read.
+
+    Returns recovery wall time plus the scanner's damage accounting —
+    the operability question is "when a tenant ships us a damaged
+    stream, how long until the daemon is decoding good blocks again,
+    and how much does it lose?".
+    """
+    import io
+
+    from repro.codecs.block import encode_block
+    from repro.core.levels import default_level_table
+    from repro.core.recovery import ResyncBlockReader
+
+    data = generate(Compressibility.MODERATE, mib * 2**20, seed=29)
+    codec = default_level_table().codec(1)
+    block_size = 128 * 1024
+    stream = io.BytesIO()
+    offsets = []
+    for off in range(0, len(data), block_size):
+        offsets.append(stream.tell())
+        block = encode_block(data[off : off + block_size], codec)
+        stream.write(bytes(block.frame))
+    # Flip one byte inside the payload of the middle block.
+    raw = bytearray(stream.getvalue())
+    victim = offsets[len(offsets) // 2] + 64
+    raw[victim] ^= 0xFF
+    reader = ResyncBlockReader(io.BytesIO(bytes(raw)))
+    t0 = time.perf_counter()
+    recovered = sum(len(chunk) for chunk in reader)
+    recovery_seconds = time.perf_counter() - t0
+    return {
+        "stream_bytes": len(raw),
+        "blocks_written": len(offsets),
+        "recovery_seconds": round(recovery_seconds, 4),
+        "blocks_skipped": reader.blocks_skipped,
+        "bytes_skipped": reader.bytes_skipped,
+        "bytes_recovered": recovered,
+    }
+
+
+def run_slo(mib: int, codec_workers: int, flows: int = SLO_FLOWS) -> dict:
+    """One instrumented daemon + admin endpoint under ``flows`` echo flows."""
+    from repro.serve import AdminServer
+    from repro.telemetry import instrumented
+
+    data = generate(Compressibility.MODERATE, mib * 2**20, seed=13)
+    with instrumented() as session:
+        server = TransferServer(
+            ServeConfig(
+                port=0,
+                max_flows=flows + 4,
+                codec_workers=codec_workers,
+                epoch_seconds=0.1,
+            )
+        ).start()
+        admin = AdminServer(server, port=0, registry=session.registry).start()
+        host, port = server.address
+        base = "http://%s:%s" % admin.address
+
+        depth_samples: list[int] = []
+        stop = threading.Event()
+
+        def poll_depth() -> None:
+            while not stop.is_set():
+                depth_samples.append(server.codec_stats()["queued"])
+                time.sleep(0.005)
+
+        results = [None] * flows
+        errors: list[str] = []
+
+        def run(i: int) -> None:
+            try:
+                client = ServeClient(host, port, timeout=120.0)
+                results[i] = client.echo(data)
+            except Exception as exc:  # noqa: BLE001 - recorded for the gate
+                errors.append(f"flow {i}: {exc!r}")
+
+        poller = threading.Thread(target=poll_depth, daemon=True)
+        poller.start()
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(flows)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+
+        # Probe the admin endpoint *while* the fleet streams: the SLO
+        # includes "a scrape under full load returns promptly".
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        time.sleep(0.2)
+        s0 = time.perf_counter()
+        metrics_text = (
+            urllib.request.urlopen(base + "/metrics", timeout=30).read().decode()
+        )
+        scrape_seconds = time.perf_counter() - s0
+        try:
+            with urllib.request.urlopen(base + "/healthz", timeout=30) as resp:
+                healthz_status = resp.status
+                healthz_body = _json.load(resp)
+        except urllib.error.HTTPError as exc:  # 503 still carries a body
+            healthz_status = exc.code
+            healthz_body = _json.load(exc)
+        flow_series_at_scrape = metrics_text.count(
+            "repro_serve_flow_app_rate_bytes_per_second{"
+        )
+
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+        stop.set()
+        poller.join(timeout=2.0)
+
+        decode_p99 = session.registry.histogram("span.serve.decode.seconds").percentile(99)
+        encode_p99 = session.registry.histogram("span.serve.encode.seconds").percentile(99)
+        decode_count = session.registry.histogram("span.serve.decode.seconds").count
+        admin.close()
+        server.stop(drain=True, timeout=30.0)
+
+    completed = sum(1 for r in results if r is not None and r.trailer.get("ok"))
+    return {
+        "flows": flows,
+        "payload_mib_per_flow": mib,
+        "completed": completed,
+        "errors": errors,
+        "server_failed_flows": server.flows_failed,
+        "internal_errors": server.internal_errors,
+        "wall_seconds": round(wall, 4),
+        "aggregate_mb_per_s": round(len(data) * completed / wall / 1e6, 2),
+        "p99_decode_seconds": round(decode_p99, 6),
+        "p99_encode_seconds": round(encode_p99, 6),
+        "decode_spans_observed": decode_count,
+        "queue_depth_max": max(depth_samples) if depth_samples else 0,
+        "queue_depth_samples": len(depth_samples),
+        "metrics_scrape_seconds": round(scrape_seconds, 4),
+        "metrics_bytes": len(metrics_text),
+        "flow_series_at_scrape": flow_series_at_scrape,
+        "healthz_status_under_load": healthz_status,
+        "healthz_ready_under_load": bool(healthz_body.get("ready")),
+        "resync": measure_resync(max(1, mib // 2)),
+        "thresholds": dict(SLO_THRESHOLDS),
+    }
+
+
+def check_slo_gate(slo: dict) -> list[str]:
+    """Return failure messages for the operability axis."""
+    failures = []
+    t = slo["thresholds"]
+    if slo["completed"] != slo["flows"] or slo["errors"]:
+        failures.append(
+            f"slo: only {slo['completed']} of {slo['flows']} flows completed "
+            f"verified ({slo['errors'][:2]})"
+        )
+    if slo["server_failed_flows"]:
+        failures.append(
+            f"slo: server reported {slo['server_failed_flows']} failed flows"
+        )
+    if slo["healthz_status_under_load"] != 200 or not slo["healthz_ready_under_load"]:
+        failures.append(
+            f"slo: /healthz under load returned "
+            f"{slo['healthz_status_under_load']} (ready="
+            f"{slo['healthz_ready_under_load']}); a serving daemon must probe ready"
+        )
+    if slo["flow_series_at_scrape"] == 0:
+        failures.append(
+            "slo: mid-load /metrics scrape carried no per-flow gauge series"
+        )
+    if slo["p99_decode_seconds"] > t["p99_decode_seconds_max"]:
+        failures.append(
+            f"slo: p99 decode block latency {slo['p99_decode_seconds']:.3f}s "
+            f"exceeds {t['p99_decode_seconds_max']}s"
+        )
+    if slo["p99_encode_seconds"] > t["p99_encode_seconds_max"]:
+        failures.append(
+            f"slo: p99 encode block latency {slo['p99_encode_seconds']:.3f}s "
+            f"exceeds {t['p99_encode_seconds_max']}s"
+        )
+    if slo["queue_depth_max"] > t["queue_depth_max"]:
+        failures.append(
+            f"slo: codec queue depth peaked at {slo['queue_depth_max']} "
+            f"(ceiling {t['queue_depth_max']}) — backpressure is not bounding "
+            f"the shared queue"
+        )
+    if slo["metrics_scrape_seconds"] > t["metrics_scrape_seconds_max"]:
+        failures.append(
+            f"slo: /metrics scrape took {slo['metrics_scrape_seconds']:.2f}s "
+            f"under load (max {t['metrics_scrape_seconds_max']}s)"
+        )
+    resync = slo["resync"]
+    if resync["recovery_seconds"] > t["resync_recovery_seconds_max"]:
+        failures.append(
+            f"slo: resync over a corrupted stream took "
+            f"{resync['recovery_seconds']:.2f}s "
+            f"(max {t['resync_recovery_seconds_max']}s)"
+        )
+    if resync["blocks_skipped"] > t["resync_blocks_skipped_max"]:
+        failures.append(
+            f"slo: resync lost {resync['blocks_skipped']} blocks to one "
+            f"flipped byte (max {t['resync_blocks_skipped_max']})"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -362,9 +595,47 @@ def main(argv=None) -> int:
         default="BENCH_control.json",
         help="control-axis JSON output path",
     )
+    parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="run the operability axis (admin endpoint under load, codec "
+        "latency/queue SLOs, resync recovery); merges an 'slo' key into --out",
+    )
     args = parser.parse_args(argv)
 
     mib = args.mib or (2 if args.quick else 8)
+    if args.slo:
+        print(
+            f"operability SLO run: {mib} MiB/flow, {SLO_FLOWS} echo flows, "
+            f"admin endpoint attached, usable cores="
+            f"{core_info()['usable_cores']}",
+            flush=True,
+        )
+        slo = run_slo(mib, args.workers)
+        print(
+            f"  p99 decode {slo['p99_decode_seconds']*1e3:8.2f} ms  "
+            f"p99 encode {slo['p99_encode_seconds']*1e3:8.2f} ms  "
+            f"queue max {slo['queue_depth_max']:4d}  "
+            f"scrape {slo['metrics_scrape_seconds']*1e3:6.1f} ms  "
+            f"resync {slo['resync']['recovery_seconds']*1e3:6.1f} ms",
+            flush=True,
+        )
+        try:
+            with open(args.out) as fp:
+                payload = json.load(fp)
+        except (OSError, json.JSONDecodeError):
+            payload = {"meta": {**core_info(), "python": platform.python_version()}}
+        payload["slo"] = slo
+        with open(args.out, "w") as fp:
+            json.dump(payload, fp, indent=2)
+        print(f"slo section merged into {args.out}")
+        failures = check_slo_gate(slo)
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        if not failures:
+            print("gate passed")
+        return 1 if failures else 0
+
     if args.control:
         print(
             f"contended-fleet benchmark: {mib} MiB/flow, "

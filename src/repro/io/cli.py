@@ -29,6 +29,7 @@ shell conventions.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import signal
@@ -133,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="echo-mode re-encode level (default adaptive, per flow)",
     )
     serve.add_argument(
+        "--epoch-seconds",
+        type=float,
+        default=0.25,
+        help="per-flow adaptive re-decision interval (echo mode)",
+    )
+    serve.add_argument(
         "--idle-timeout",
         type=float,
         default=0.0,
@@ -156,7 +163,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="grace period for in-flight flows after SIGTERM/SIGINT",
     )
+    serve.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        help="serve /metrics, /healthz, /flows and POST /reload on this "
+        "port (0 picks a free port; default: no admin endpoint)",
+    )
+    serve.add_argument(
+        "--admin-host",
+        default="127.0.0.1",
+        help="bind address for the admin endpoint (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON file of reloadable settings (level, policy, "
+        "control_interval, idle_timeout, max_flows, max_queued_jobs); "
+        "applied at startup and re-read on SIGHUP or empty POST /reload",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write one v2 replay trace per echo flow at close "
+        "(replayable with repro.schemes.replay)",
+    )
     return parser
+
+
+def _load_serve_config(path: str) -> dict:
+    """Read a ``--config`` file: a JSON object of reloadable keys."""
+    from ..serve import RELOADABLE_KEYS
+
+    with open(path, "r", encoding="utf-8") as fp:
+        data = json.load(fp)
+    if not isinstance(data, dict):
+        raise ValueError(f"config file {path} must hold a JSON object")
+    unknown = set(data) - set(RELOADABLE_KEYS)
+    if unknown:
+        raise ValueError(f"config file {path}: unknown keys {sorted(unknown)}")
+    return data
 
 
 def cmd_pack(args: argparse.Namespace) -> int:
@@ -206,34 +254,70 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from ..serve import ServeConfig, TransferServer
+    from ..serve import AdminServer, ServeConfig, TransferServer
 
+    # A --config file wins over the matching CLI flags at startup, so
+    # the file is the single source of truth that SIGHUP re-reads.
+    overrides = _load_serve_config(args.config) if args.config else {}
     config = ServeConfig(
         host=args.host,
         port=args.port,
-        max_flows=args.max_flows,
+        max_flows=overrides.get("max_flows", args.max_flows),
         backlog=args.backlog,
         codec_workers=args.workers,
         codec_backend=args.backend,
         codec_shards=args.shards,
-        level=args.level,
-        idle_timeout=args.idle_timeout,
-        policy=args.policy,
-        control_interval=args.control_interval,
+        max_queued_jobs=overrides.get("max_queued_jobs", 0),
+        level=overrides.get("level", args.level),
+        epoch_seconds=args.epoch_seconds,
+        idle_timeout=overrides.get("idle_timeout", args.idle_timeout),
+        policy=overrides.get("policy", args.policy),
+        control_interval=overrides.get("control_interval", args.control_interval),
+        trace_dir=args.trace_dir,
     )
     server = TransferServer(config)
 
     def _drain(signum, frame):  # pragma: no cover - signal path
         server.request_drain(args.drain_timeout)
 
+    def _reload(signum, frame):  # pragma: no cover - signal path
+        try:
+            server.request_reload(_load_serve_config(args.config))
+        except (OSError, ValueError) as exc:
+            print(f"reload failed: {exc}", file=sys.stderr, flush=True)
+
     try:
         signal.signal(signal.SIGTERM, _drain)
         signal.signal(signal.SIGINT, _drain)
+        if args.config and hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, _reload)
     except ValueError:  # pragma: no cover - not the main thread
         pass
     host, port = server.address
     print(f"serving on {host}:{port}", flush=True)
-    server.serve_forever()
+    with contextlib.ExitStack() as stack:
+        if args.admin_port is not None:
+            from ..telemetry import instrumented
+
+            # The admin endpoint is what makes telemetry worth paying
+            # for in a daemon: attach the metric bridge so /metrics has
+            # live registry series alongside the per-flow gauges.
+            session = stack.enter_context(instrumented())
+            admin = stack.enter_context(
+                AdminServer(
+                    server,
+                    host=args.admin_host,
+                    port=args.admin_port,
+                    registry=session.registry,
+                    config_source=(
+                        (lambda: _load_serve_config(args.config))
+                        if args.config
+                        else None
+                    ),
+                )
+            )
+            print(f"admin on {admin.address[0]}:{admin.address[1]}", flush=True)
+        server.serve_forever()
     print(
         f"drained: {server.flows_completed} completed, "
         f"{server.flows_failed} failed, {server.flows_rejected} rejected",

@@ -79,6 +79,46 @@ def decisions_from_result(result: TransferResult, flow_id: int = 0) -> List[Flow
     ]
 
 
+def records_from_epochs(
+    epochs: Iterable, flow_id: int = 0
+) -> Tuple[List[EpochObservation], List[FlowDecision]]:
+    """Convert a live controller's epoch trace into replayable records.
+
+    Takes the :class:`~repro.core.controller.EpochRecord` sequence an
+    :class:`~repro.core.controller.AdaptiveController` accumulated and
+    returns the aligned ``(observations, decisions)`` pair that
+    :func:`dump_trace` serializes as a v2 trace.  The serve daemon uses
+    this to persist one trace file per flow at close.  Epoch records
+    only hold what the controller measured — ``app_rate``, the paper's
+    sole trusted signal — so the displayed VM metrics are zero in the
+    resulting views.
+    """
+    observations: List[EpochObservation] = []
+    decisions: List[FlowDecision] = []
+    for rec in epochs:
+        observations.append(
+            EpochObservation(
+                now=rec.end,
+                epoch_seconds=rec.end - rec.start,
+                app_rate=rec.app_rate,
+                displayed_cpu_util=0.0,
+                displayed_bandwidth=0.0,
+                flow_id=flow_id,
+                level=rec.level_before,
+                app_bytes=float(rec.app_bytes),
+            )
+        )
+        decisions.append(
+            FlowDecision(
+                flow_id=flow_id,
+                epoch=rec.epoch,
+                level_before=rec.level_before,
+                level_after=rec.level_after,
+            )
+        )
+    return observations, decisions
+
+
 def dump_trace(
     observations: Iterable[EpochObservation],
     fp: IO[str],

@@ -24,6 +24,9 @@ flows, one daemon* counterpart:
 * :mod:`~repro.serve.client` — :class:`ServeClient`, which uploads (or
   round-trips) data through a daemon and verifies per-flow byte
   identity via the trailer's plaintext CRC32.
+* :mod:`~repro.serve.admin` — :class:`AdminServer`, the embedded
+  observability endpoint (``/metrics``, ``/healthz``, ``/flows``,
+  ``POST /reload``) on a separate port; see ``docs/operations.md``.
 
 Start a daemon with ``repro-compress serve`` or in-process::
 
@@ -35,6 +38,7 @@ Start a daemon with ``repro-compress serve`` or in-process::
         assert result.trailer["ok"]
 """
 
+from .admin import AdminServer
 from .client import (
     FlowRejectedError,
     FlowResult,
@@ -54,11 +58,13 @@ from .protocol import (
     parse_control,
     parse_hello,
 )
-from .server import ServeConfig, TransferServer
+from .server import RELOADABLE_KEYS, ServeConfig, TransferServer
 
 __all__ = [
     "TransferServer",
     "ServeConfig",
+    "AdminServer",
+    "RELOADABLE_KEYS",
     "ServeClient",
     "FlowResult",
     "ServeError",

@@ -323,6 +323,9 @@ class Flow:
         self.controller: Optional[AdaptiveController] = None
         self._echo_static_level: Optional[int] = None
         self._echo_block_size = default_block_size
+        #: True once the hello carried an explicit ``level`` parameter;
+        #: such flows keep the client's choice across config reloads.
+        self._level_from_client = False
 
         # Fleet-control plane (server actuates via apply_control).
         self.control_weight = 1.0
@@ -342,6 +345,9 @@ class Flow:
         self._rate_ts = self.opened_at
         self._rate_app = 0
         self._rate_wire = 0
+        # Last closed rate window, for live gauges (/metrics, /flows).
+        self.last_app_rate = 0.0
+        self.last_ratio: Optional[float] = None
 
         self.failure: Optional[str] = None
 
@@ -399,7 +405,9 @@ class Flow:
         self._rate_app = self.app_bytes
         self._rate_wire = self.wire_bytes_in
         ratio = (d_wire / d_app) if d_app > 0 else None
-        return d_app / dt, ratio
+        self.last_app_rate = d_app / dt
+        self.last_ratio = ratio
+        return self.last_app_rate, ratio
 
     def apply_control(self, level: Optional[int], weight: float) -> bool:
         """Apply a fleet assignment to this flow; True when it changed.
@@ -426,6 +434,77 @@ class Flow:
                 encode_control({"ctl": "rebalance", "level": level, "weight": weight})
             )
         return changed
+
+    def reload_level(self, level: Optional[int]) -> bool:
+        """Retune this live flow to a reloaded server default level.
+
+        ``None`` means adaptive.  Flows whose hello named an explicit
+        level keep the client's choice, and sink flows never encode —
+        both return ``False``.  Echo flows are retuned through the
+        per-flow controller's ``set_level_override`` (the same lever
+        the fleet control plane actuates), so the adaptive scheme keeps
+        learning open-loop and a later return to adaptive is seamless —
+        the connection itself is never touched.
+        """
+        self._default_level = level
+        if self._level_from_client or self.mode != MODE_ECHO:
+            return False
+        was_adaptive = self._echo_static_level is None and (
+            self.controller is None or self.controller.level_override is None
+        )
+        before = None if was_adaptive else self.echo_level
+        self._echo_static_level = None
+        if self.controller is not None:
+            self.controller.set_level_override(level)
+        else:  # defensive: echo flows always carry a controller
+            self._echo_static_level = level
+        now_adaptive = level is None
+        return (was_adaptive != now_adaptive) or (
+            not now_adaptive and before != level
+        )
+
+    def status(self) -> Dict[str, object]:
+        """Operational snapshot for the admin endpoint (best effort).
+
+        All fields are scalar attribute reads, so calling this from the
+        admin thread while the loop thread advances the flow yields a
+        slightly torn but always well-formed picture.
+        """
+        controller = self.controller
+        last_decision = None
+        if controller is not None and controller.trace:
+            rec = controller.trace[-1]
+            last_decision = {
+                "epoch": rec.epoch,
+                "level_before": rec.level_before,
+                "level_after": rec.level_after,
+                "app_rate": rec.app_rate,
+            }
+        return {
+            "flow_id": self.flow_id,
+            "peer": self.peer,
+            "mode": self.mode,
+            "state": self.state.value,
+            "ok": self.ok,
+            "failure": self.failure,
+            "level": self.echo_level,
+            "adaptive": controller is not None and self._echo_static_level is None,
+            "level_override": controller.level_override if controller else None,
+            "worker_weight": self.control_weight,
+            "app_rate": self.last_app_rate,
+            "observed_ratio": self.last_ratio,
+            "app_bytes": self.app_bytes,
+            "wire_bytes_in": self.wire_bytes_in,
+            "bytes_out": self.bytes_out,
+            "blocks_in": self.blocks_in,
+            "blocks_out": self.blocks_out,
+            "decode_in_flight": self.decode_in_flight,
+            "encode_in_flight": self.encode_in_flight,
+            "write_queue_bytes": self._out_bytes,
+            "age_seconds": self._clock() - self.opened_at,
+            "epochs": len(controller.trace) if controller else 0,
+            "last_decision": last_decision,
+        }
 
     # -- socket side (loop thread) -----------------------------------
 
@@ -510,6 +589,7 @@ class Flow:
             raise ProtocolError(f"bad block_size {block_size!r}")
         self._echo_block_size = block_size
         level = params.get("level", None)
+        self._level_from_client = level is not None
         if level is None:
             self._echo_static_level = self._default_level
         elif level == "adaptive":

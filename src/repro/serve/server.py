@@ -42,6 +42,7 @@ lifecycle edge publishes telemetry (``FlowAccepted`` / ``FlowClosed`` /
 
 from __future__ import annotations
 
+import logging
 import os
 import selectors
 import socket
@@ -50,9 +51,9 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from itertools import count
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from ..control import Assignment, FleetController
+from ..control import Assignment, FleetController, make_policy
 from ..core.buffers import BufferPool
 from ..core.levels import CompressionLevelTable, default_level_table
 from ..core.pipeline import CodecThreadPool
@@ -61,16 +62,30 @@ from ..io.sockets import DEFAULT_BACKLOG, open_listener
 from ..telemetry.events import (
     BUS,
     BufferPoolStats,
+    ConfigReloaded,
     FlowAccepted,
     FlowClosed,
     FlowRates,
     FlowRejected,
     PipelineQueueDepth,
+    ServeInternalError,
 )
 from .flow import Flow, FlowState, ProcessCodecExecutor, ThreadCodecExecutor
 from .protocol import encode_control
 
-__all__ = ["ServeConfig", "TransferServer"]
+__all__ = ["RELOADABLE_KEYS", "ServeConfig", "TransferServer"]
+
+logger = logging.getLogger("repro.serve")
+
+#: Config keys :meth:`TransferServer.request_reload` accepts.
+RELOADABLE_KEYS = (
+    "level",
+    "policy",
+    "control_interval",
+    "idle_timeout",
+    "max_flows",
+    "max_queued_jobs",
+)
 
 
 def _default_workers() -> int:
@@ -111,6 +126,7 @@ class ServeConfig:
     poll_interval: float = 0.2
     policy: Optional[str] = None  # fleet allocation policy; None → per-flow only
     control_interval: float = 1.0  # seconds between fleet policy passes
+    trace_dir: Optional[str] = None  # write per-flow replay traces here
 
     def __post_init__(self) -> None:
         if self.max_flows < 1:
@@ -249,11 +265,24 @@ class TransferServer:
         self._finished = threading.Event()
         self._closed = False
 
+        # Hot-reload queue: any thread enqueues validated change sets
+        # via request_reload(); only the loop thread applies them.
+        self._reload_lock = threading.Lock()
+        self._reload_requests: Deque[Dict[str, object]] = deque()
+
         # Lifetime counters (loop thread writes, anyone reads).
+        self.started_at = self._clock()
         self.flows_accepted = 0
         self.flows_rejected = 0
         self.flows_completed = 0
         self.flows_failed = 0
+        #: Suppressed-but-abnormal errors on best-effort paths (see
+        #: :meth:`_internal_error`); ``/healthz`` surfaces both.
+        self.internal_errors = 0
+        self.internal_error_sites: Dict[str, int] = {}
+        #: Hot reloads applied so far, and a summary of the last one.
+        self.reloads = 0
+        self.last_reload: Optional[Dict[str, object]] = None
 
     # -- shared substrate (exposed for tests and telemetry) ----------
 
@@ -384,10 +413,10 @@ class TransferServer:
                 with self._pending_lock:
                     while self._pending:
                         touched.append(self._pending.popleft())
+                self._apply_reloads()
                 self._advance(touched)
                 self._check_timeouts()
-                if self._controller is not None:
-                    self._control_pass()
+                self._rates_pass()
         finally:
             self._running.set()
             try:
@@ -403,7 +432,10 @@ class TransferServer:
                 conn, addr = self._listener.accept()
             except (BlockingIOError, InterruptedError):
                 return
-            except OSError:
+            except OSError as exc:
+                # A failing accept (EMFILE, dying NIC) must not take the
+                # loop down, but it must not vanish either.
+                self._internal_error("accept", exc)
                 return
             reason = self._admission_reason()
             if reason is not None:
@@ -412,8 +444,8 @@ class TransferServer:
             conn.setblocking(False)
             try:
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            except OSError:  # pragma: no cover - platform-dependent
-                pass
+            except OSError as exc:  # pragma: no cover - platform-dependent
+                self._internal_error("accept-setsockopt", exc)
             flow_id = next(self._flow_ids)
             flow = Flow(
                 flow_id,
@@ -456,10 +488,14 @@ class TransferServer:
             conn.setblocking(False)
             try:
                 conn.recv(64 * 1024)
-            except (BlockingIOError, OSError):
-                pass
-        except OSError:
-            pass
+            except BlockingIOError:
+                pass  # nothing buffered yet — expected, not an error
+            except OSError as exc:
+                self._internal_error("reject-drain", exc)
+        except OSError as exc:
+            # The peer may already be gone; the reject is best effort,
+            # but losing it silently would hide e.g. fd exhaustion.
+            self._internal_error("reject-send", exc)
         finally:
             conn.close()
         if BUS.active:
@@ -479,7 +515,8 @@ class TransferServer:
                     return
             except (BlockingIOError, InterruptedError):
                 return
-            except OSError:
+            except OSError as exc:
+                self._internal_error("waker-recv", exc)
                 return
 
     def _notify(self, flow: Flow) -> None:
@@ -493,8 +530,9 @@ class TransferServer:
             self._waker_w.send(b"\0")
         except (BlockingIOError, InterruptedError):
             pass  # pipe already full: the loop is awake anyway
-        except OSError:
-            pass  # shutting down
+        except OSError as exc:
+            if not self._closed:  # post-teardown wakes are expected
+                self._internal_error("waker-send", exc)
 
     def _advance(self, touched: List[Flow]) -> None:
         seen = set()
@@ -512,15 +550,43 @@ class TransferServer:
             else:
                 self._update_interest(flow)
 
-    def _control_pass(self) -> None:
-        """Feed per-flow rate samples to the controller and tick it.
+    def _internal_error(self, site: str, exc: BaseException) -> None:
+        """Account an error a best-effort path suppressed.
 
-        Runs once per loop pass; each flow closes a rate window at most
+        The paths that call this must not let one socket's failure take
+        the event loop down — but a swallow that leaves no trace hides
+        real trouble (fd exhaustion, a dying NIC) from operators.  Every
+        former ``except: pass`` site now lands here: a counter, a
+        per-site tally, a debug log line, and (when telemetry is on) a
+        :class:`ServeInternalError` event.  ``/healthz`` reports the
+        totals.
+        """
+        self.internal_errors += 1
+        self.internal_error_sites[site] = self.internal_error_sites.get(site, 0) + 1
+        logger.debug("suppressed internal error at %s: %r", site, exc)
+        if BUS.active:
+            BUS.publish(
+                ServeInternalError(
+                    ts=BUS.now(),
+                    source=self.TELEMETRY_SOURCE,
+                    site=site,
+                    error=repr(exc),
+                )
+            )
+
+    def _rates_pass(self) -> None:
+        """Close per-flow rate windows; feed the fleet controller if any.
+
+        Runs once per loop pass whether or not a policy is configured:
+        the closed windows back each flow's ``last_app_rate`` /
+        ``last_ratio`` gauges, which the admin endpoint's ``/metrics``
+        and ``/flows`` views read.  Each flow closes a window at most
         every ``epoch_seconds`` and the controller runs its policy at
         most every ``control_interval``, so the common case is a few
         subtractions per flow.
         """
         now = self._clock()
+        controller = self._controller
         for flow in list(self._flows.values()):
             if flow.flow_id not in self._announced or flow.state is FlowState.CLOSED:
                 continue
@@ -529,14 +595,15 @@ class TransferServer:
                 continue
             app_rate, ratio = sample
             level = flow.echo_level
-            self._controller.observe_flow(
-                flow.flow_id,
-                now=now,
-                level=level,
-                app_rate=app_rate,
-                app_bytes=float(flow.app_bytes),
-                observed_ratio=ratio,
-            )
+            if controller is not None:
+                controller.observe_flow(
+                    flow.flow_id,
+                    now=now,
+                    level=level,
+                    app_rate=app_rate,
+                    app_bytes=float(flow.app_bytes),
+                    observed_ratio=ratio,
+                )
             if BUS.active:
                 BUS.publish(
                     FlowRates(
@@ -550,7 +617,168 @@ class TransferServer:
                         worker_weight=flow.control_weight,
                     )
                 )
-        self._controller.on_tick(now)
+        if controller is not None:
+            controller.on_tick(now)
+
+    # Historical name, still exercised directly by the control tests.
+    _control_pass = _rates_pass
+
+    # -- hot config reload -------------------------------------------
+
+    def request_reload(self, changes: Dict[str, object]) -> Dict[str, object]:
+        """Validate and enqueue a config change set (any thread).
+
+        Accepts a subset of :data:`RELOADABLE_KEYS`; raises
+        ``ValueError`` on unknown keys or bad values *before* anything
+        is enqueued, so a failed reload leaves the daemon untouched.
+        The loop thread applies the normalized change set on its next
+        pass — live flows are retuned in place and no connection is
+        dropped.  Returns the normalized change set.
+        """
+        normalized: Dict[str, object] = {}
+        for key, value in changes.items():
+            if key not in RELOADABLE_KEYS:
+                raise ValueError(f"not a reloadable key: {key!r}")
+            normalized[key] = self._validate_reload(key, value)
+        if normalized:
+            with self._reload_lock:
+                self._reload_requests.append(normalized)
+            self._wake()
+        return normalized
+
+    def _validate_reload(self, key: str, value: object) -> object:
+        if key == "level":
+            if value is None or value == "adaptive":
+                return value
+            if not isinstance(value, str):
+                raise ValueError(f"level must be a name or None, got {value!r}")
+            try:
+                self._levels.index_of(value)
+            except (KeyError, ValueError):
+                raise ValueError(f"unknown level {value!r}") from None
+            return value
+        if key == "policy":
+            if value is None:
+                return None
+            if not isinstance(value, str):
+                raise ValueError(f"policy must be a name or None, got {value!r}")
+            try:
+                make_policy(value)
+            except (KeyError, ValueError):
+                raise ValueError(f"unknown policy {value!r}") from None
+            return value
+        if key == "control_interval":
+            interval = float(value)  # type: ignore[arg-type]
+            if interval <= 0:
+                raise ValueError("control_interval must be positive")
+            return interval
+        if key == "idle_timeout":
+            timeout = float(value)  # type: ignore[arg-type]
+            if timeout < 0:
+                raise ValueError("idle_timeout must be >= 0")
+            return timeout
+        # max_flows / max_queued_jobs
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"{key} must be an integer, got {value!r}")
+        if key == "max_flows" and value < 1:
+            raise ValueError("max_flows must be >= 1")
+        if key == "max_queued_jobs" and value < 0:
+            raise ValueError("max_queued_jobs must be >= 0")
+        return value
+
+    def _apply_reloads(self) -> None:
+        """Apply queued reload requests (loop thread only)."""
+        while True:
+            with self._reload_lock:
+                if not self._reload_requests:
+                    return
+                changes = self._reload_requests.popleft()
+            self._apply_reload(changes)
+
+    def _apply_reload(self, changes: Dict[str, object]) -> None:
+        changed: List[str] = []
+        flows_updated = 0
+        live = [
+            flow
+            for flow in list(self._flows.values())
+            if flow.flow_id in self._announced and flow.state is not FlowState.CLOSED
+        ]
+        if "level" in changes and changes["level"] != self.config.level:
+            level = changes["level"]
+            self.config.level = level  # type: ignore[assignment]
+            self._default_level = (
+                None if level in (None, "adaptive")
+                else self._levels.index_of(level)  # type: ignore[arg-type]
+            )
+            changed.append("level")
+            for flow in live:
+                if flow.reload_level(self._default_level):
+                    flows_updated += 1
+        if "control_interval" in changes and (
+            changes["control_interval"] != self.config.control_interval
+        ):
+            self.config.control_interval = changes["control_interval"]  # type: ignore[assignment]
+            if self._controller is not None:
+                self._controller.control_interval = self.config.control_interval
+            changed.append("control_interval")
+        if "policy" in changes and changes["policy"] != self.config.policy:
+            self.config.policy = changes["policy"]  # type: ignore[assignment]
+            changed.append("policy")
+            if self._controller is not None:
+                # Return every managed flow to self-rule before the old
+                # control plane goes away.
+                for flow in live:
+                    if flow.apply_control(None, 1.0):
+                        flows_updated += 1
+                        self._update_interest(flow)
+            self._controller = None
+            if self.config.policy is not None:
+                self._controller = FleetController(
+                    self.config.policy,
+                    n_levels=len(self._levels),
+                    actuator=self._apply_assignment,
+                    control_interval=self.config.control_interval,
+                    source=f"{self.TELEMETRY_SOURCE}-control",
+                )
+                now = self._clock()
+                for flow in live:
+                    self._controller.flow_opened(flow.flow_id, now=now)
+        if "idle_timeout" in changes and (
+            changes["idle_timeout"] != self.config.idle_timeout
+        ):
+            self.config.idle_timeout = changes["idle_timeout"]  # type: ignore[assignment]
+            changed.append("idle_timeout")
+        if "max_flows" in changes and changes["max_flows"] != self.config.max_flows:
+            self.config.max_flows = changes["max_flows"]  # type: ignore[assignment]
+            changed.append("max_flows")
+        if "max_queued_jobs" in changes and (
+            changes["max_queued_jobs"] != self.config.max_queued_jobs
+        ):
+            self.config.max_queued_jobs = changes["max_queued_jobs"]  # type: ignore[assignment]
+            changed.append("max_queued_jobs")
+
+        self.reloads += 1
+        self.last_reload = {
+            "changed": tuple(changed),
+            "flows_updated": flows_updated,
+            "at": time.time(),
+        }
+        logger.info(
+            "config reload #%d applied: changed=%s flows_updated=%d",
+            self.reloads,
+            ",".join(changed) or "nothing",
+            flows_updated,
+        )
+        if BUS.active:
+            BUS.publish(
+                ConfigReloaded(
+                    ts=BUS.now(),
+                    source=self.TELEMETRY_SOURCE,
+                    changed=tuple(changed),
+                    flows_updated=flows_updated,
+                    reloads=self.reloads,
+                )
+            )
 
     def _apply_assignment(self, flow_id: int, assignment: Assignment) -> None:
         """Fleet-controller actuator (invoked on the loop thread)."""
@@ -618,14 +846,16 @@ class TransferServer:
         if self._masks.get(flow.flow_id, 0) != 0 and self._selector is not None:
             try:
                 self._selector.unregister(flow.sock)
-            except (KeyError, ValueError):  # pragma: no cover - defensive
-                pass
+            except (KeyError, ValueError) as exc:  # pragma: no cover - defensive
+                self._internal_error("selector-unregister", exc)
         self._masks.pop(flow.flow_id, None)
         self._flows.pop(flow.flow_id, None)
         try:
             flow.sock.close()
-        except OSError:  # pragma: no cover - defensive
-            pass
+        except OSError as exc:  # pragma: no cover - defensive
+            self._internal_error("flow-close", exc)
+        if self.config.trace_dir is not None:
+            self._write_flow_trace(flow)
         if flow.ok:
             self.flows_completed += 1
         else:
@@ -677,6 +907,89 @@ class TransferServer:
             )
         )
 
+    def _write_flow_trace(self, flow: Flow) -> None:
+        """Persist one v2 replay trace for a closed flow (best effort).
+
+        Only echo flows accumulate controller epochs; sink flows and
+        flows that closed before their first epoch write nothing.  A
+        write failure is accounted via :meth:`_internal_error` rather
+        than failing the close — trace capture must never take a
+        healthy daemon down with a full disk.
+        """
+        if flow.controller is None or not flow.controller.trace:
+            return
+        # Imported lazily: the replay module pulls in the simulator,
+        # which a daemon without --trace-dir never needs.
+        from ..schemes.replay import dump_trace, records_from_epochs
+
+        observations, decisions = records_from_epochs(
+            flow.controller.trace, flow_id=flow.flow_id
+        )
+        path = os.path.join(self.config.trace_dir, f"flow-{flow.flow_id}.jsonl")
+        try:
+            os.makedirs(self.config.trace_dir, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fp:
+                dump_trace(observations, fp, decisions)
+        except OSError as exc:
+            self._internal_error("trace-write", exc)
+
+    # -- operational snapshots (any thread; admin endpoint reads) ----
+
+    def status(self) -> Dict[str, object]:
+        """Daemon-level operational snapshot (JSON-safe)."""
+        return {
+            "address": list(self.address),
+            "uptime_seconds": self._clock() - self.started_at,
+            "draining": self._draining,
+            "closed": self._closed,
+            "active_flows": len(self._flows),
+            "flows_accepted": self.flows_accepted,
+            "flows_rejected": self.flows_rejected,
+            "flows_completed": self.flows_completed,
+            "flows_failed": self.flows_failed,
+            "internal_errors": self.internal_errors,
+            "internal_error_sites": dict(self.internal_error_sites),
+            "reloads": self.reloads,
+            "last_reload": self.last_reload,
+            "level": self.config.level,
+            "policy": self.config.policy,
+            "control_interval": self.config.control_interval,
+            "max_flows": self.config.max_flows,
+            "idle_timeout": self.config.idle_timeout,
+            "trace_dir": self.config.trace_dir,
+            "codec": self.codec_stats(),
+            "buffer_pool": self._buffer_pool.stats(),
+        }
+
+    def flows_snapshot(self) -> List[Dict[str, object]]:
+        """Per-flow snapshots for ``/flows`` (possibly slightly torn)."""
+        return [flow.status() for flow in list(self._flows.values())]
+
+    def healthz(self) -> Tuple[bool, Dict[str, object]]:
+        """``(ready, detail)`` for the admin ``/healthz`` endpoint.
+
+        Ready means: the loop is live, not draining, and no codec
+        executor reports a broken worker.  The detail dict carries the
+        individual verdicts plus the suppressed-error tallies so a
+        probe failure is diagnosable from the probe body alone.
+        """
+        codec = self.codec_stats()
+        broken = any(s.get("broken") for s in codec["executors"])
+        live = self._running.is_set() and not self._finished.is_set()
+        ready = live and not self._draining and not self._closed and not broken
+        return ready, {
+            "ready": ready,
+            "live": live,
+            "draining": self._draining,
+            "closed": self._closed,
+            "codec_broken": broken,
+            "codec_backend": self.codec_backend,
+            "active_flows": len(self._flows),
+            "internal_errors": self.internal_errors,
+            "internal_error_sites": dict(self.internal_error_sites),
+            "uptime_seconds": self._clock() - self.started_at,
+        }
+
     def _teardown(self, listener_open: bool) -> None:
         if self._closed:
             return
@@ -689,8 +1002,8 @@ class TransferServer:
         if sel is not None:
             try:
                 sel.close()
-            except OSError:  # pragma: no cover - defensive
-                pass
+            except OSError as exc:  # pragma: no cover - defensive
+                self._internal_error("selector-close", exc)
         if listener_open:
             self._listener.close()
         self._waker_r.close()

@@ -29,6 +29,7 @@ from .events import (
     BackoffUpdated,
     BlockCompressed,
     BlockSkipped,
+    ConfigReloaded,
     EpochClosed,
     EventBus,
     FaultInjected,
@@ -39,6 +40,7 @@ from .events import (
     FlowRejected,
     LevelSwitched,
     PipelineQueueDepth,
+    ServeInternalError,
     SpanClosed,
     TelemetryEvent,
     TransferProgress,
@@ -50,6 +52,9 @@ from .exporters import (
     JsonlExporter,
     PrometheusTextExporter,
     event_to_dict,
+    prom_label_escape,
+    prom_metric_name,
+    prom_number,
 )
 from .instrument import TelemetrySession, install_metric_subscribers, instrumented
 from .metrics import (
@@ -79,6 +84,8 @@ __all__ = [
     "FlowRejected",
     "FlowRates",
     "FleetRebalanced",
+    "ServeInternalError",
+    "ConfigReloaded",
     "SpanClosed",
     "EventBus",
     "BUS",
@@ -99,6 +106,9 @@ __all__ = [
     "JsonlExporter",
     "PrometheusTextExporter",
     "event_to_dict",
+    "prom_label_escape",
+    "prom_metric_name",
+    "prom_number",
     # instrument
     "instrumented",
     "install_metric_subscribers",

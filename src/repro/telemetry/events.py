@@ -42,6 +42,8 @@ __all__ = [
     "FlowRejected",
     "FlowRates",
     "FleetRebalanced",
+    "ServeInternalError",
+    "ConfigReloaded",
     "SpanClosed",
     "EventBus",
     "BUS",
@@ -298,6 +300,40 @@ class FleetRebalanced(TelemetryEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class ServeInternalError(TelemetryEvent):
+    """The serve daemon suppressed an exception on a best-effort path.
+
+    Teardown and waker paths must not let one socket's failure take the
+    event loop down, so they swallow ``OSError``-class exceptions — but
+    a swallow that leaves no trace hides real trouble (fd exhaustion,
+    a dying NIC) from operators.  Every such site now publishes one of
+    these events and bumps the server's ``internal_errors`` counter,
+    which ``/healthz`` surfaces.  ``site`` names the code path (e.g.
+    ``"waker-send"``, ``"flow-close"``), ``error`` is ``repr(exc)``.
+    """
+
+    source: str
+    site: str
+    error: str
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigReloaded(TelemetryEvent):
+    """A live daemon applied a hot configuration reload.
+
+    Emitted by :class:`repro.serve.TransferServer` after a SIGHUP or
+    ``POST /reload`` took effect on the loop thread.  ``changed`` names
+    the keys that actually changed, ``flows_updated`` counts live flows
+    whose level/scheme was retuned in place (no connection dropped).
+    """
+
+    source: str
+    changed: Tuple[str, ...]
+    flows_updated: int
+    reloads: int
+
+
+@dataclass(frozen=True, slots=True)
 class SpanClosed(TelemetryEvent):
     """A tracing span (``with span(...)``) exited."""
 
@@ -329,6 +365,8 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     FlowRejected,
     FlowRates,
     FleetRebalanced,
+    ServeInternalError,
+    ConfigReloaded,
     SpanClosed,
 )
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import time
 from typing import IO, Any, Dict, List, Optional, Union
 
 from .events import BUS, EventBus, TelemetryEvent
@@ -23,6 +24,9 @@ __all__ = [
     "InMemoryExporter",
     "JsonlExporter",
     "PrometheusTextExporter",
+    "prom_label_escape",
+    "prom_metric_name",
+    "prom_number",
 ]
 
 
@@ -95,17 +99,41 @@ class InMemoryExporter(_BusExporter):
 
 
 class JsonlExporter(_BusExporter):
-    """Write one JSON object per event to a file or file-like object."""
+    """Write one JSON object per event to a file or file-like object.
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    Flushing is *bounded*, not per-event and not only-at-close: the
+    buffer is pushed to the OS every ``flush_every_events`` events or
+    whenever ``flush_every_seconds`` have elapsed since the last flush,
+    whichever comes first.  A daemon that crashes therefore loses at
+    most one small tail of the trace — and the tail is exactly what a
+    postmortem needs.  Set ``flush_every_events=1`` for write-through,
+    or ``0`` to disable count-based flushing (time-based still applies).
+    """
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        *,
+        flush_every_events: int = 64,
+        flush_every_seconds: float = 1.0,
+    ) -> None:
         super().__init__()
+        if flush_every_events < 0:
+            raise ValueError("flush_every_events must be >= 0")
+        if flush_every_seconds <= 0:
+            raise ValueError("flush_every_seconds must be positive")
         if isinstance(target, str):
             self._fp: IO[str] = open(target, "w", encoding="utf-8")
             self._owns_fp = True
         else:
             self._fp = target
             self._owns_fp = False
+        self.flush_every_events = flush_every_events
+        self.flush_every_seconds = flush_every_seconds
         self.events_written = 0
+        self.flushes = 0
+        self._unflushed = 0
+        self._last_flush = time.monotonic()
 
     def handle(self, event: TelemetryEvent) -> None:
         line = json.dumps(
@@ -113,6 +141,19 @@ class JsonlExporter(_BusExporter):
         )
         self._fp.write(line + "\n")
         self.events_written += 1
+        self._unflushed += 1
+        now = time.monotonic()
+        if (
+            self.flush_every_events and self._unflushed >= self.flush_every_events
+        ) or now - self._last_flush >= self.flush_every_seconds:
+            self.flush(now)
+
+    def flush(self, now: Optional[float] = None) -> None:
+        """Push buffered lines to the OS (crash-tail bound)."""
+        self._fp.flush()
+        self.flushes += 1
+        self._unflushed = 0
+        self._last_flush = now if now is not None else time.monotonic()
 
     def close(self) -> None:
         self.detach()
@@ -124,15 +165,53 @@ class JsonlExporter(_BusExporter):
         self.close()
 
 
-def _prom_name(name: str) -> str:
-    """Metric name → Prometheus-legal name (dots/dashes → underscores)."""
-    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+def prom_metric_name(name: str) -> str:
+    """Metric name → Prometheus-legal name.
+
+    Dots/dashes become underscores and a leading digit gets an
+    underscore prefix — the exposition format requires names to match
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``, and a registry name like
+    ``"4k.blocks"`` must not produce output a scraper rejects.
+    """
+    sanitized = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
 
 
-def _prom_number(value: float) -> str:
+def prom_number(value: float) -> str:
+    """Render a sample value per the exposition format.
+
+    Non-finite values have reserved spellings — ``+Inf``/``-Inf``/
+    ``NaN`` — that a Prometheus parser accepts; ``repr(inf)`` (the old
+    behaviour for NaN's cousin cases) does not.
+    """
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
-    return repr(float(value))
+    return repr(value)
+
+
+def prom_label_escape(value: object) -> str:
+    """Escape a label value per the exposition format.
+
+    Inside ``label="..."`` a backslash, a double quote and a newline
+    must be written ``\\\\``, ``\\"`` and ``\\n`` respectively — a peer
+    string like ``"bad\\nhost"`` must never split a sample line in two.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+# Backwards-compatible private aliases (pre-operability-PR names).
+_prom_name = prom_metric_name
+_prom_number = prom_number
 
 
 class PrometheusTextExporter:
@@ -148,22 +227,22 @@ class PrometheusTextExporter:
     def render(self) -> str:
         lines: List[str] = []
         for name, metric in self.registry:
-            pname = _prom_name(name)
+            pname = prom_metric_name(name)
             if isinstance(metric, Counter):
                 lines.append(f"# TYPE {pname} counter")
-                lines.append(f"{pname} {_prom_number(metric.value)}")
+                lines.append(f"{pname} {prom_number(metric.value)}")
             elif isinstance(metric, Gauge):
                 lines.append(f"# TYPE {pname} gauge")
-                lines.append(f"{pname} {_prom_number(metric.value)}")
+                lines.append(f"{pname} {prom_number(metric.value)}")
             elif isinstance(metric, Histogram):
                 lines.append(f"# TYPE {pname} histogram")
                 cumulative = 0
                 for bound, count in zip(metric.bounds, metric.counts):
                     cumulative += count
                     lines.append(
-                        f'{pname}_bucket{{le="{_prom_number(bound)}"}} {cumulative}'
+                        f'{pname}_bucket{{le="{prom_number(bound)}"}} {cumulative}'
                     )
                 lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
-                lines.append(f"{pname}_sum {_prom_number(metric.sum)}")
+                lines.append(f"{pname}_sum {prom_number(metric.sum)}")
                 lines.append(f"{pname}_count {metric.count}")
         return "\n".join(lines) + ("\n" if lines else "")

@@ -25,6 +25,7 @@ from .events import (
     BlockCompressed,
     BlockSkipped,
     BufferPoolStats,
+    ConfigReloaded,
     EpochClosed,
     EventBus,
     FaultInjected,
@@ -33,6 +34,7 @@ from .events import (
     FlowRejected,
     LevelSwitched,
     PipelineQueueDepth,
+    ServeInternalError,
     SpanClosed,
     TransferProgress,
 )
@@ -123,6 +125,16 @@ def install_metric_subscribers(
     def on_flow_rejected(event: FlowRejected) -> None:
         registry.counter(f"{event.source}.flows.rejected").inc()
 
+    def on_internal_error(event: ServeInternalError) -> None:
+        registry.counter(f"{event.source}.internal_errors").inc()
+        registry.counter(f"{event.source}.internal_errors.{event.site}").inc()
+
+    def on_reload(event: ConfigReloaded) -> None:
+        registry.counter(f"{event.source}.reloads").inc()
+        registry.gauge(f"{event.source}.reload.flows_updated").set(
+            event.flows_updated
+        )
+
     return [
         bus.subscribe(on_epoch, EpochClosed),
         bus.subscribe(on_switch, LevelSwitched),
@@ -137,6 +149,8 @@ def install_metric_subscribers(
         bus.subscribe(on_flow_accepted, FlowAccepted),
         bus.subscribe(on_flow_closed, FlowClosed),
         bus.subscribe(on_flow_rejected, FlowRejected),
+        bus.subscribe(on_internal_error, ServeInternalError),
+        bus.subscribe(on_reload, ConfigReloaded),
     ]
 
 

@@ -1,9 +1,20 @@
-"""Exporters: JSONL validity, Prometheus text shape, in-memory capture."""
+"""Exporters: JSONL validity, Prometheus text shape, in-memory capture.
+
+The Prometheus checks use a *hand-written strict parser* of the text
+exposition format (``prometheus_client`` is deliberately not a
+dependency): every rendered line must match the format's grammar, label
+values must unescape to the original strings, and non-finite samples
+must use the reserved ``+Inf``/``-Inf``/``NaN`` spellings.
+"""
 
 from __future__ import annotations
 
 import io
 import json
+import math
+import re
+import time
+from pathlib import Path
 
 import pytest
 
@@ -19,8 +30,135 @@ from repro.telemetry.exporters import (
     JsonlExporter,
     PrometheusTextExporter,
     event_to_dict,
+    prom_label_escape,
+    prom_metric_name,
+    prom_number,
 )
 from repro.telemetry.metrics import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+# ---------------------------------------------------------------------------
+# A strict parser of the Prometheus text exposition format (v0.0.4).
+#
+# Deliberately unforgiving: anything the real Prometheus scraper would
+# reject (illegal metric name, raw newline in a label, ``inf`` instead
+# of ``+Inf``) raises here.  This is the acceptance check for
+# everything ``/metrics`` renders.
+# ---------------------------------------------------------------------------
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_FLOAT = re.compile(r"[-+]?(\d+\.?\d*|\.\d+)([eE][-+]?\d+)?\Z")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_label_body(body: str) -> dict:
+    """``k="v",k2="v2"`` → dict, unescaping values; raise on bad grammar."""
+    labels: dict = {}
+    i = 0
+    while i < len(body):
+        m = _LABEL_NAME.match(body, i)
+        if m is None:
+            raise ValueError(f"bad label name at {body[i:]!r}")
+        name = m.group(0)
+        i = m.end()
+        if body[i : i + 2] != '="':
+            raise ValueError(f"expected '=\"' after label {name!r}")
+        i += 2
+        value_chars = []
+        while True:
+            if i >= len(body):
+                raise ValueError("unterminated label value")
+            ch = body[i]
+            if ch == "\\":
+                esc = body[i + 1 : i + 2]
+                if esc == "n":
+                    value_chars.append("\n")
+                elif esc in ('"', "\\"):
+                    value_chars.append(esc)
+                else:
+                    raise ValueError(f"illegal escape \\{esc}")
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            elif ch == "\n":
+                raise ValueError("raw newline inside label value")
+            else:
+                value_chars.append(ch)
+                i += 1
+        labels[name] = "".join(value_chars)
+        if i < len(body):
+            if body[i] != ",":
+                raise ValueError(f"expected ',' between labels at {body[i:]!r}")
+            i += 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    if _FLOAT.match(text) is None:
+        raise ValueError(f"illegal sample value {text!r}")
+    return float(text)
+
+
+def parse_exposition(text: str):
+    """Parse exposition text → list of ``(name, labels, value)`` samples.
+
+    Raises ``ValueError`` on any line a strict scraper would reject,
+    including a sample whose base name contradicts its ``# TYPE``.
+    """
+    samples = []
+    typed: dict = {}
+    for line in text.split("\n"):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"malformed TYPE line {line!r}")
+            _, _, name, kind = parts
+            if _METRIC_NAME.match(name) is None:
+                raise ValueError(f"illegal metric name {name!r}")
+            if kind not in _TYPES:
+                raise ValueError(f"unknown metric type {kind!r}")
+            if name in typed:
+                raise ValueError(f"duplicate TYPE for {name!r}")
+            typed[name] = kind
+        elif line.startswith("# HELP "):
+            if len(line.split(" ", 3)) < 4:
+                raise ValueError(f"malformed HELP line {line!r}")
+        elif line.startswith("#"):
+            continue  # plain comment
+        else:
+            m = _SAMPLE.match(line)
+            if m is None:
+                raise ValueError(f"malformed sample line {line!r}")
+            name = m.group("name")
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            if name not in typed and base not in typed:
+                raise ValueError(f"sample {name!r} has no TYPE declaration")
+            labels = _parse_label_body(m.group("labels") or "")
+            samples.append((name, labels, _parse_value(m.group("value"))))
+    return samples
+
+
+def sample_epoch(ts: float = 1.0, rate: float = 5e7) -> EpochClosed:
+    return EpochClosed(
+        ts=ts, source="test", epoch=0, start=0.0, end=ts,
+        app_bytes=1000, app_rate=rate, level=1,
+    )
 
 
 def sample_epoch(ts: float = 1.0, rate: float = 5e7) -> EpochClosed:
@@ -121,3 +259,190 @@ class TestPrometheusTextExporter:
 
     def test_empty_registry_renders_empty(self):
         assert PrometheusTextExporter(MetricsRegistry()).render() == ""
+
+
+class TestJsonlExporterBoundedFlush:
+    """The crash-tail bound: data reaches the OS *before* close()."""
+
+    def test_flush_every_n_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(
+            str(path), flush_every_events=2, flush_every_seconds=3600.0
+        ).attach(bus)
+        for i in range(5):
+            bus.publish(sample_epoch(ts=float(i)))
+        # No close(): simulate a crashed daemon.  Events 1-4 were pushed
+        # to the OS by the two count-triggered flushes; only the 5th may
+        # still sit in the userspace buffer.
+        on_disk = path.read_text().splitlines()
+        assert len(on_disk) >= 4
+        for line in on_disk:
+            json.loads(line)  # every flushed line is complete JSON
+        assert exporter.flushes == 2
+        bus.publish(sample_epoch(ts=5.0))
+        assert exporter.flushes == 3
+        assert len(path.read_text().splitlines()) == 6
+        exporter.close()
+
+    def test_flush_on_elapsed_time(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(
+            str(path), flush_every_events=0, flush_every_seconds=0.05
+        ).attach(bus)
+        bus.publish(sample_epoch(ts=1.0))
+        time.sleep(0.06)
+        bus.publish(sample_epoch(ts=2.0))  # elapsed > bound → flush
+        assert exporter.flushes >= 1
+        assert len(path.read_text().splitlines()) == 2
+        exporter.close()
+
+    def test_write_through_mode(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(str(path), flush_every_events=1).attach(bus)
+        bus.publish(sample_epoch())
+        assert len(path.read_text().splitlines()) == 1  # no close needed
+        exporter.close()
+
+    def test_manual_flush(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(
+            str(path), flush_every_events=1000, flush_every_seconds=3600.0
+        ).attach(bus)
+        bus.publish(sample_epoch())
+        exporter.flush()
+        assert exporter.flushes == 1
+        assert len(path.read_text().splitlines()) == 1
+        exporter.close()
+
+    def test_ctor_validation_before_file_open(self, tmp_path):
+        path = tmp_path / "never-created.jsonl"
+        with pytest.raises(ValueError):
+            JsonlExporter(str(path), flush_every_events=-1)
+        with pytest.raises(ValueError):
+            JsonlExporter(str(path), flush_every_seconds=0.0)
+        assert not path.exists()  # validated before opening the target
+
+
+class TestPromHelpers:
+    def test_metric_name_sanitization(self):
+        assert prom_metric_name("blocks.compress") == "blocks_compress"
+        assert prom_metric_name("span.serve.decode.seconds") == (
+            "span_serve_decode_seconds"
+        )
+        assert prom_metric_name("rate-limit") == "rate_limit"
+        assert prom_metric_name("4k.blocks") == "_4k_blocks"
+        assert prom_metric_name("") == "_"
+        assert _METRIC_NAME.match(prom_metric_name("4k.blocks"))
+
+    def test_number_reserved_spellings(self):
+        assert prom_number(float("inf")) == "+Inf"
+        assert prom_number(float("-inf")) == "-Inf"
+        assert prom_number(float("nan")) == "NaN"
+        assert prom_number(7) == "7.0"
+        assert prom_number(0.001) == "0.001"
+
+    def test_label_escape(self):
+        assert prom_label_escape('a"b') == 'a\\"b'
+        assert prom_label_escape("a\\b") == "a\\\\b"
+        assert prom_label_escape("a\nb") == "a\\nb"
+        assert prom_label_escape(123) == "123"
+
+    @pytest.mark.parametrize(
+        "evil",
+        ['peer "quoted"', "back\\slash", "multi\nline", '\\"both\n\\'],
+    )
+    def test_label_escape_round_trips_through_parser(self, evil):
+        line = (
+            "# TYPE m gauge\n"
+            f'm{{peer="{prom_label_escape(evil)}"}} 1.0\n'
+        )
+        samples = parse_exposition(line)
+        assert samples == [("m", {"peer": evil}, 1.0)]
+
+
+class TestStrictExpositionParser:
+    """The parser itself must reject what a real scraper rejects."""
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "# TYPE 4bad counter\n4bad 1\n",  # illegal name
+            "# TYPE m widget\nm 1\n",  # unknown type
+            "m 1\n",  # sample without TYPE
+            "# TYPE m gauge\nm inf\n",  # wrong Inf spelling
+            "# TYPE m gauge\nm nan\n",  # wrong NaN spelling
+            '# TYPE m gauge\nm{peer="x} 1\n',  # unterminated label
+            '# TYPE m gauge\nm{peer="a\\qb"} 1\n',  # illegal escape
+            "# TYPE m gauge\n# TYPE m counter\nm 1\n",  # duplicate TYPE
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_accepts_histogram_family(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 3.5\n"
+            "h_count 2\n"
+        )
+        assert len(parse_exposition(text)) == 4
+
+
+def _golden_registry() -> MetricsRegistry:
+    """The fixed registry behind the golden exposition file."""
+    reg = MetricsRegistry()
+    reg.counter("blocks.compress").inc(7)
+    reg.counter("4k.blocks").inc(3)  # leading digit → sanitised name
+    reg.gauge("level.current").set(2)
+    reg.gauge("rate.ceiling").set(float("inf"))
+    reg.gauge("rate.floor").set(float("-inf"))
+    reg.gauge("rate.unknown").set(float("nan"))
+    hist = reg.histogram("codec.compress.seconds", buckets=[0.001, 0.01])
+    hist.observe(0.0005)
+    hist.observe(0.005)
+    hist.observe(5.0)
+    return reg
+
+
+class TestGoldenExposition:
+    """Byte-exact golden check of the rendered exposition format.
+
+    The golden file is hand-reviewed: regenerate with
+    ``python -m tests.telemetry.test_exporters`` after an intentional
+    format change, and re-review the diff.
+    """
+
+    def test_matches_golden_file(self):
+        rendered = PrometheusTextExporter(_golden_registry()).render()
+        assert rendered == GOLDEN.read_text(), (
+            "exposition format drifted from the reviewed golden file; "
+            "if intentional, regenerate tests/telemetry/golden/metrics.prom"
+        )
+
+    def test_golden_passes_strict_parser(self):
+        samples = parse_exposition(GOLDEN.read_text())
+        by_name = {name: value for name, labels, value in samples if not labels}
+        assert by_name["blocks_compress"] == 7.0
+        assert by_name["_4k_blocks"] == 3.0
+        assert by_name["rate_ceiling"] == math.inf
+        assert by_name["rate_floor"] == -math.inf
+        assert math.isnan(by_name["rate_unknown"])
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name == "codec_compress_seconds_bucket"
+        ]
+        assert buckets == [("0.001", 1.0), ("0.01", 2.0), ("+Inf", 3.0)]
+
+
+if __name__ == "__main__":  # golden-file regeneration entry point
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(PrometheusTextExporter(_golden_registry()).render())
+    print(f"wrote {GOLDEN}")
