@@ -48,6 +48,25 @@ def test_bench_link_recompute(benchmark):
     assert total == 8 * 200 * 1e6
 
 
+def test_bench_allocation_preview(benchmark):
+    """What-if pricing against the cached sorted allocation: schemes
+    call this per decision epoch, so it must not pay a full re-fill."""
+
+    def run_previews(n_flows=100, n_previews=2_000):
+        env = Environment()
+        link = SharedLink(env, capacity=1e8)
+        flows = [link.open_flow(f"f{i}", demand=0.5e6 * (i + 1)) for i in range(n_flows)]
+        for flow in flows:
+            link.transmit(flow, 1e9)
+        total = 0.0
+        for i in range(n_previews):
+            total += link.allocation_preview(1e5 * (i % 37 + 1))
+        return total
+
+    total = benchmark(run_previews)
+    assert total > 0.0
+
+
 def test_bench_decision_model(benchmark):
     """Decisions per second of Algorithm 1 (it runs every t seconds on
     the hot path of every channel)."""

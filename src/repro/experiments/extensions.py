@@ -922,11 +922,13 @@ def run_control(scale: float = 0.1, seed: int = 87) -> ExperimentResult:
                 f"{res.makespan:.0f}",
                 f"{res.completion_percentile(99):.0f}",
                 f"{res.rebalances}",
+                f"{res.events_processed}",
+                f"{res.wall_seconds:.2f}",
             ]
         )
     rendered = format_table(
         ["policy", "aggregate goodput (MB/s)", "makespan (s)",
-         "p99 completion (s)", "rebalances"],
+         "p99 completion (s)", "rebalances", "events", "wall (s)"],
         rows,
         title=(
             f"Fleet of 4x{hi_bytes / 1e9:.1f} GB HIGH + "
@@ -1010,6 +1012,9 @@ def run_control(scale: float = 0.1, seed: int = 87) -> ExperimentResult:
                 "makespan": res.makespan,
                 "p99_completion": res.completion_percentile(99),
                 "rebalances": res.rebalances,
+                "events_processed": res.events_processed,
+                "wall_seconds": res.wall_seconds,
+                "events_per_second": res.events_per_second,
             }
             for arm, res in results.items()
         },

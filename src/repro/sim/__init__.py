@@ -31,6 +31,7 @@ from .disk import CachedDisk, PlainDisk
 from .engine import Environment, Event, Process, SimulationError, Timeout
 from .filetransfer import FileWriteSim, run_file_write_scenario
 from .fleet import (
+    FleetArrivalSpec,
     FleetFlowOutcome,
     FleetFlowSpec,
     FleetResult,
@@ -67,6 +68,7 @@ from .transfer import BackgroundTraffic, TransferEpoch, TransferResult, Transfer
 from .vm import VirtualMachine
 from .workload import (
     OPERATIONS,
+    SoftmaxArrivalProcess,
     WorkloadReport,
     run_file_read,
     run_file_write,
@@ -122,6 +124,7 @@ __all__ = [
     "FileWriteSim",
     "run_file_write_scenario",
     "FleetFlowSpec",
+    "FleetArrivalSpec",
     "FleetFlowOutcome",
     "FleetResult",
     "SimFleetController",
@@ -144,4 +147,5 @@ __all__ = [
     "run_file_write",
     "run_file_read",
     "OPERATIONS",
+    "SoftmaxArrivalProcess",
 ]

@@ -15,15 +15,28 @@ Design notes
 * The engine is deliberately small (events, timeouts, processes); what
   the paper's setting actually needs — fluid-shared links, CPU ledgers,
   caches — lives in dedicated modules built on top.
+* Timers are cancellable: :meth:`Timeout.cancel` retracts a scheduled
+  wake-up before it fires.  Cancelled entries are skipped on pop and
+  periodically compacted out of the heap, so a component that
+  reschedules its timer thousands of times (the fluid link reprices on
+  every arrival/departure) cannot pollute the heap with stale entries.
+* :meth:`Environment.run` also accepts an :class:`Event` as the stop
+  condition, which is how fleet harnesses wait for "all N flows done"
+  without polling the process list.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional, Union
 
 from ..telemetry.events import BUS, EventBus
+
+#: Lazy-deletion bound: once more than this many cancelled timers sit in
+#: the heap *and* they outnumber the live entries, the heap is rebuilt
+#: without them.  Keeps pop cost low without paying a rebuild per cancel.
+_COMPACT_MIN = 64
 
 
 class SimulationError(Exception):
@@ -38,7 +51,8 @@ class Event:
     current simulation time.
     """
 
-    __slots__ = ("env", "callbacks", "_triggered", "_value", "_is_error")
+    __slots__ = ("env", "callbacks", "_triggered", "_value", "_is_error",
+                 "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -46,6 +60,7 @@ class Event:
         self._triggered = False
         self._value: Any = None
         self._is_error = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -83,11 +98,31 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__: one Timeout per yield makes this the
+        # engine's hottest allocation site.
+        self.env = env
+        self.callbacks = []
         self._triggered = True  # scheduled, cannot be succeeded manually
         self._value = value
+        self._is_error = False
+        self._cancelled = False
+        self.delay = delay
         env._schedule(env.now + delay, self)
+
+    def cancel(self) -> None:
+        """Retract the timer: its callbacks will never run.
+
+        Safe to call at most any point: cancelling a timer that already
+        fired (callbacks drained) is a no-op.  A cancelled entry stays
+        in the heap until popped or compacted, but costs O(1) to skip.
+        Never cancel a timeout some *other* process is yielding on —
+        that process would deadlock; only cancel timers you own.
+        """
+        if self._cancelled or not self.callbacks:
+            return
+        self._cancelled = True
+        self.callbacks.clear()
+        self.env._note_cancel()
 
 
 class Process(Event):
@@ -129,6 +164,13 @@ class Process(Event):
                     raise
                 return
             raise
+        if target.__class__ is Timeout:
+            # Fast path for the dominant yield shape: a freshly created
+            # Timeout is already in the heap at its fire time and needs
+            # neither the isinstance validation nor the re-schedule
+            # check below.
+            target.callbacks.append(self._resume)
+            return
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
@@ -150,7 +192,7 @@ class Environment:
         self._now = 0.0
         self._heap: List[tuple[float, int, Event]] = []
         self._seq = itertools.count()
-        self._queued: set[int] = set()
+        self._n_cancelled = 0
         self._events_processed = 0
 
     @property
@@ -159,8 +201,17 @@ class Environment:
 
     @property
     def events_processed(self) -> int:
-        """Heap pops executed so far (engine-throughput telemetry)."""
+        """Heap pops delivered so far (engine-throughput telemetry).
+
+        Cancelled timers skipped on pop are not counted: they do no
+        callback work.
+        """
         return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) entries currently in the heap."""
+        return len(self._heap) - self._n_cancelled
 
     def bind_telemetry(self, bus: Optional[EventBus] = None) -> Callable[[], float]:
         """Drive the telemetry clock with *virtual* time.
@@ -187,6 +238,18 @@ class Environment:
         """Schedule an already-triggered event's callbacks to run now."""
         self._schedule(self._now, event)
 
+    def _note_cancel(self) -> None:
+        """Account one cancelled heap entry; compact when they dominate."""
+        self._n_cancelled += 1
+        if (
+            self._n_cancelled > _COMPACT_MIN
+            and self._n_cancelled * 2 > len(self._heap)
+        ):
+            # In place: run() holds a reference to this exact list.
+            self._heap[:] = [e for e in self._heap if not e[2]._cancelled]
+            heapq.heapify(self._heap)
+            self._n_cancelled = 0
+
     # -- public API ---------------------------------------------------
 
     def event(self) -> Event:
@@ -200,24 +263,50 @@ class Environment:
     ) -> Process:
         return Process(self, generator, name)
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: Union[float, Event, None] = None) -> float:
         """Execute events until the heap drains or ``until`` is reached.
 
-        Returns the simulation time at which execution stopped.
+        ``until`` may be a simulation time (stop the clock there), an
+        :class:`Event` (stop right after its callbacks run; raises
+        :class:`SimulationError` if the heap drains first), or ``None``
+        (drain the heap).  An already-triggered until-event returns
+        immediately.  Returns the simulation time at which execution
+        stopped.
         """
-        while self._heap:
-            at, _, event = self._heap[0]
-            if until is not None and at > until:
-                self._now = until
+        heap = self._heap
+        pop = heapq.heappop
+        until_time: Optional[float] = None
+        fired: List[Event] = []
+        if until is not None:
+            if isinstance(until, Event):
+                if until._triggered:
+                    return self._now
+                until.callbacks.append(fired.append)
+            else:
+                until_time = until
+        while heap:
+            at, _, event = heap[0]
+            if until_time is not None and at > until_time:
+                self._now = until_time
                 return self._now
-            heapq.heappop(self._heap)
+            pop(heap)
+            if event._cancelled:
+                self._n_cancelled -= 1
+                continue
             self._now = at
             self._events_processed += 1
             callbacks, event.callbacks = event.callbacks, []
             for callback in callbacks:
                 callback(event)
-        if until is not None and until > self._now:
-            self._now = until
+            if fired:
+                return self._now
+        if until is not None and isinstance(until, Event):
+            raise SimulationError(
+                "run(until=event): event queue drained before the event fired "
+                "(deadlock or starvation)"
+            )
+        if until_time is not None and until_time > self._now:
+            self._now = until_time
         return self._now
 
     def run_process(self, generator: Generator[Event, Any, Any], name: str = "") -> Any:

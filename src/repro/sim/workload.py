@@ -11,6 +11,8 @@ the platform's CPU cost pair to the VM's dual ledger, and reports
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass
 from typing import Dict, Generator, List
 
@@ -174,3 +176,59 @@ OPERATIONS = {
     "file-write": run_file_write,
     "file-read": run_file_read,
 }
+
+
+class SoftmaxArrivalProcess:
+    """Open-loop arrival counts following a noisy diurnal target curve.
+
+    Models the grid-transfer arrival process of fg-inet/gacs
+    (``TransferNumGenerator``, SNIPPETS.md Snippet 2): the target number
+    of concurrently live transfers follows a slow cosine ("softmax")
+    curve around a mean, perturbed by multiplicative Gaussian noise, and
+    whenever the live count is below the target a super-linear burst
+    ``int(diff ** |N(1.05, 0.04)|)`` of new transfers arrives.  The
+    burst exponent makes deep deficits refill aggressively — the bursty,
+    open-loop shape that distinguishes real fleet load from a fixed
+    batch of N flows all started at t=0.
+
+    Stdlib-only (``math`` + a :class:`random.Random` stream from
+    :class:`~repro.sim.rng.RngStreams`), so arrival sequences are a pure
+    function of the experiment seed.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        mean: float = 8.0,
+        swing: float = 4.0,
+        period: float = 600.0,
+        noise: float = 0.02,
+        burst_mu: float = 1.05,
+        burst_sigma: float = 0.04,
+    ) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if swing < 0 or swing > mean:
+            raise ValueError("swing must be in [0, mean]")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.rng = rng
+        self.mean = mean
+        self.swing = swing
+        self.period = period
+        self.noise = noise
+        self.burst_mu = burst_mu
+        self.burst_sigma = burst_sigma
+
+    def target(self, now: float) -> float:
+        """The (noisy) desired number of live transfers at ``now``."""
+        base = self.mean + self.swing * math.cos(2.0 * math.pi * now / self.period)
+        return base * (1.0 + self.rng.gauss(0.0, self.noise))
+
+    def arrivals(self, now: float, live: int) -> int:
+        """How many new transfers arrive at ``now`` given ``live`` active."""
+        diff = self.target(now) - live
+        if diff <= 0:
+            return 0
+        return int(diff ** abs(self.rng.gauss(self.burst_mu, self.burst_sigma)))

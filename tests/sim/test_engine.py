@@ -251,3 +251,124 @@ class TestProcesses:
         env.run()
         with pytest.raises(SimulationError):
             env._schedule(1.0, env.event())
+
+
+class TestCancellableTimers:
+    def test_cancelled_timeout_never_fires(self):
+        env = Environment()
+        fired = []
+        t = env.timeout(5.0)
+        t.callbacks.append(lambda e: fired.append(env.now))
+        t.cancel()
+        env.run()
+        assert fired == []
+        assert env.now == 0.0  # cancelled entries do not advance the clock
+
+    def test_cancel_after_fire_is_noop(self):
+        env = Environment()
+        fired = []
+        t = env.timeout(1.0)
+        t.callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        before = env._n_cancelled
+        t.cancel()
+        assert fired == [1.0]
+        assert env._n_cancelled == before  # no phantom cancel accounting
+
+    def test_cancel_is_idempotent(self):
+        env = Environment()
+        t = env.timeout(1.0)
+        t.callbacks.append(lambda e: None)
+        t.cancel()
+        t.cancel()
+        assert env._n_cancelled == 1
+
+    def test_pending_events_excludes_cancelled(self):
+        env = Environment()
+        timers = [env.timeout(float(i + 1)) for i in range(10)]
+        for t in timers:
+            t.callbacks.append(lambda e: None)
+        assert env.pending_events == 10
+        for t in timers[:4]:
+            t.cancel()
+        assert env.pending_events == 6
+
+    def test_heap_compaction_under_cancel_churn(self):
+        from repro.sim.engine import _COMPACT_MIN
+
+        env = Environment()
+        # Reschedule-style churn: create a watched timer, cancel it,
+        # repeat.  Without compaction the heap would hold every corpse.
+        sink = lambda e: None
+        for _ in range(100 * _COMPACT_MIN):
+            t = env.timeout(10.0)
+            t.callbacks.append(sink)
+            t.cancel()
+        assert len(env._heap) <= 2 * _COMPACT_MIN + 2
+        assert env.pending_events == 0
+
+    def test_cancelled_pops_not_counted_as_processed(self):
+        env = Environment()
+        keep = env.timeout(2.0)
+        dead = env.timeout(1.0)
+        dead.callbacks.append(lambda e: None)
+        dead.cancel()
+        env.run()
+        assert env.events_processed == 1
+
+    def test_cancel_of_unwatched_timer_is_noop(self):
+        # A timer nobody waits on has no callbacks; cancelling it is a
+        # no-op by contract (indistinguishable from already-fired) and
+        # must not corrupt the cancelled-entry accounting.
+        env = Environment()
+        env.timeout(1.0).cancel()
+        assert env._n_cancelled == 0
+        env.run()
+        assert env.now == 1.0
+
+
+class TestRunUntilEvent:
+    def test_run_until_event_stops_at_trigger(self):
+        env = Environment()
+        done = env.event()
+
+        def proc():
+            yield env.timeout(3.0)
+            done.succeed()
+            yield env.timeout(10.0)
+
+        env.process(proc())
+        env.run(until=done)
+        assert env.now == 3.0
+        # The rest of the heap is untouched and can keep running.
+        env.run()
+        assert env.now == 13.0
+
+    def test_run_until_already_triggered_event_returns_now(self):
+        env = Environment()
+        done = env.event()
+        done.succeed()
+        assert env.run(until=done) == 0.0
+
+    def test_run_until_event_detects_starvation(self):
+        env = Environment()
+        never = env.event()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        with pytest.raises(SimulationError, match="drained before the event"):
+            env.run(until=never)
+
+    def test_events_processed_counts_pops(self):
+        env = Environment()
+
+        def proc():
+            for _ in range(5):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        # 1 process-init event + 5 timeouts + the process-done event.
+        assert env.events_processed == 7

@@ -84,3 +84,78 @@ class TestPercentiles:
         assert fleet.completion_percentile(100) == times[-1]
         assert fleet.completion_percentile(1) == times[0]
         assert fleet.completion_percentile(50) in times
+
+
+class TestThroughputTelemetry:
+    def test_events_and_wall_seconds_populated(self):
+        fleet = run(specs(), seed=3)
+        assert fleet.events_processed > 0
+        assert fleet.wall_seconds > 0
+        assert fleet.events_per_second > 0
+        assert fleet.flows_spawned == 3
+        assert fleet.peak_live == 3  # closed batch: all live at t=0
+
+
+class TestOpenLoopArrivals:
+    def _arrivals(self, total, **kw):
+        from repro.sim import FleetArrivalSpec
+
+        kw.setdefault("interval", 2.0)
+        kw.setdefault("mean", 4.0)
+        kw.setdefault("swing", 2.0)
+        kw.setdefault("period", 60.0)
+        return FleetArrivalSpec(total_flows=total, **kw)
+
+    def test_spawns_exactly_total_flows(self):
+        fleet = run(
+            specs(hi=30 * MB, lo=20 * MB),
+            arrivals=self._arrivals(12),
+            seed=5,
+        )
+        assert fleet.flows_spawned == 12
+        assert len(fleet.flows) == 12
+        assert 1 <= fleet.peak_live <= 12
+        # Specs cycle as templates: ids beyond the spec list reuse names.
+        names = {f.name for f in fleet.flows}
+        assert names == {s.name for s in specs()}
+
+    def test_flows_arrive_over_time(self):
+        fleet = run(
+            specs(hi=30 * MB, lo=20 * MB),
+            arrivals=self._arrivals(12),
+            seed=5,
+        )
+        starts = sorted(f.started_at for f in fleet.flows)
+        assert starts[0] == 0.0
+        assert starts[-1] > 0.0  # not a closed batch
+        for f in fleet.flows:
+            assert f.completion_time >= f.started_at
+
+    def test_deterministic_from_seed(self):
+        kw = dict(arrivals=self._arrivals(10), seed=11)
+        a = run(specs(hi=30 * MB, lo=20 * MB), **kw)
+        b = run(specs(hi=30 * MB, lo=20 * MB), **kw)
+        assert [f.started_at for f in a.flows] == [f.started_at for f in b.flows]
+        assert [f.completion_time for f in a.flows] == [
+            f.completion_time for f in b.flows
+        ]
+        assert a.makespan == b.makespan
+
+    def test_controlled_open_loop_fleet(self):
+        fleet = run(
+            specs(hi=30 * MB, lo=20 * MB),
+            arrivals=self._arrivals(10),
+            policy="fair-share",
+            seed=7,
+        )
+        assert fleet.policy == "fair-share"
+        assert fleet.flows_spawned == 10
+        assert fleet.total_app_bytes > 0
+
+    def test_arrival_spec_validation(self):
+        from repro.sim import FleetArrivalSpec
+
+        with pytest.raises(ValueError):
+            FleetArrivalSpec(total_flows=0)
+        with pytest.raises(ValueError):
+            FleetArrivalSpec(total_flows=5, interval=0.0)

@@ -242,3 +242,37 @@ class TestAccounting:
             link.transmit(flow, 1.0)  # already transmitting
         with pytest.raises(RuntimeError):
             link.close_flow(flow)  # still busy
+
+
+class TestCloseFlow:
+    def test_close_idle_flow(self):
+        env, link = make_link()
+        flow = link.open_flow("f")
+        link.close_flow(flow)
+        with pytest.raises(RuntimeError, match="not open"):
+            link.transmit(flow, 10.0)
+
+    def test_close_never_opened_flow_names_it(self):
+        env, link = make_link()
+        other_env = Environment()
+        other_link = SharedLink(other_env, capacity=10)
+        stranger = other_link.open_flow("stranger")
+        with pytest.raises(RuntimeError, match="'stranger' is not open"):
+            link.close_flow(stranger)
+
+    def test_double_close_names_the_flow(self):
+        env, link = make_link()
+        flow = link.open_flow("twice")
+        link.close_flow(flow)
+        with pytest.raises(RuntimeError, match="'twice' is not open"):
+            link.close_flow(flow)
+
+    def test_close_does_not_disturb_running_transfers(self):
+        env, link = make_link(100.0)
+        busy = link.open_flow("busy")
+        idle = link.open_flow("idle")
+        done = link.transmit(busy, 100.0)
+        link.close_flow(idle)
+        env.run()
+        assert done.triggered
+        assert env.now == pytest.approx(1.0)

@@ -121,3 +121,44 @@ class TestBookkeeping:
         assert report.operation == "net-recv"
         assert report.platform == "kvm-full"
         assert report.total_bytes == 0.5e9
+
+
+class TestSoftmaxArrivalProcess:
+    def _proc(self, seed=0, **kw):
+        from repro.sim.workload import SoftmaxArrivalProcess
+
+        return SoftmaxArrivalProcess(RngStreams(seed).stream("arrivals"), **kw)
+
+    def test_deterministic_from_seed(self):
+        a = self._proc(seed=3)
+        b = self._proc(seed=3)
+        seq_a = [a.arrivals(t * 5.0, live=t % 7) for t in range(50)]
+        seq_b = [b.arrivals(t * 5.0, live=t % 7) for t in range(50)]
+        assert seq_a == seq_b
+
+    def test_no_arrivals_above_target(self):
+        proc = self._proc(mean=4.0, swing=2.0)
+        # Live count far above any possible target: never spawn.
+        assert all(proc.arrivals(t * 1.0, live=100) == 0 for t in range(100))
+
+    def test_deficit_spawns_superlinearly(self):
+        proc = self._proc(mean=20.0, swing=0.0, noise=0.0)
+        # Deficit of ~20 with burst exponent ~1.05 spawns more than the
+        # deficit on average (the gacs refill burst).
+        bursts = [self._proc(seed=s, mean=20.0, swing=0.0, noise=0.0).arrivals(0.0, 0)
+                  for s in range(20)]
+        assert statistics.mean(bursts) >= 20
+        assert all(b >= 1 for b in bursts)
+
+    def test_target_tracks_cosine(self):
+        proc = self._proc(mean=10.0, swing=5.0, period=100.0, noise=0.0)
+        assert proc.target(0.0) == pytest.approx(15.0)
+        assert proc.target(50.0) == pytest.approx(5.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            self._proc(mean=0.0)
+        with pytest.raises(ValueError):
+            self._proc(mean=2.0, swing=3.0)
+        with pytest.raises(ValueError):
+            self._proc(period=0.0)
